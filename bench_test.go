@@ -1,0 +1,311 @@
+// Package p2pltr's root benchmarks regenerate the paper's evaluation
+// under `go test -bench`. Each BenchmarkE* corresponds to one experiment
+// of DESIGN.md §4 (table/figure/scenario); custom metrics report the
+// quantities the paper demonstrates (latency, behind-rounds, hops,
+// availability). BenchmarkCore* microbenchmarks cover the primitive
+// operations underneath.
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"p2pltr/internal/core"
+	"p2pltr/internal/ids"
+	"p2pltr/internal/p2plog"
+	"p2pltr/internal/ringtest"
+)
+
+func mustCluster(b *testing.B, n int, opts core.Options) *ringtest.Cluster {
+	b.Helper()
+	c, err := ringtest.NewCluster(n, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	return c
+}
+
+// BenchmarkE1TimestampGeneration measures gen_ts validation for fresh
+// documents across the ring (Figure 4 / scenario 1).
+func BenchmarkE1TimestampGeneration(b *testing.B) {
+	c := mustCluster(b, 8, ringtest.FastOptions())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("bench-doc-%d", i)
+		r := core.NewReplica(c.Peers[i%len(c.Peers)], key, "bench")
+		if err := r.Insert(0, "x"); err != nil {
+			b.Fatal(err)
+		}
+		ts, err := r.Commit(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ts != 1 {
+			b.Fatalf("continuity: first ts = %d", ts)
+		}
+	}
+}
+
+// BenchmarkE2ConcurrentPublish measures commit latency under W concurrent
+// updaters of one document (Figure 5 / scenario 2).
+func BenchmarkE2ConcurrentPublish(b *testing.B) {
+	for _, writers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			c := mustCluster(b, 8, ringtest.FastOptions())
+			ctx := context.Background()
+			key := "bench-contested"
+			replicas := make([]*core.Replica, writers)
+			for i := range replicas {
+				replicas[i] = core.NewReplica(c.Peers[i%len(c.Peers)], key, fmt.Sprintf("w%d", i))
+			}
+			b.ResetTimer()
+			done := make(chan error, writers)
+			per := b.N/writers + 1
+			for _, r := range replicas {
+				go func(r *core.Replica) {
+					for k := 0; k < per; k++ {
+						if err := r.Insert(0, "line"); err != nil {
+							done <- err
+							return
+						}
+						if _, err := r.Commit(ctx); err != nil {
+							done <- err
+							return
+						}
+					}
+					done <- nil
+				}(r)
+			}
+			for i := 0; i < writers; i++ {
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			var behind int64
+			for _, r := range replicas {
+				bh, _ := r.Stats()
+				behind += bh
+			}
+			b.ReportMetric(float64(behind)/float64(b.N), "behind-rounds/op")
+		})
+	}
+}
+
+// BenchmarkE3MasterFailover measures the takeover gap after crashing the
+// Master-key (scenario 3).
+func BenchmarkE3MasterFailover(b *testing.B) {
+	ctx := context.Background()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := ringtest.NewCluster(8, ringtest.FastOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := fmt.Sprintf("failover-%d", i)
+		master := c.MasterOf(uint64(ids.HashTS(key)))
+		var host *core.Peer
+		for _, p := range c.Peers {
+			if p != master {
+				host = p
+				break
+			}
+		}
+		r := core.NewReplica(host, key, "bench")
+		if err := r.Insert(0, "pre"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Commit(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		start := time.Now()
+		c.Crash(master)
+		if err := r.Insert(0, "post"); err != nil {
+			b.Fatal(err)
+		}
+		ts, err := r.Commit(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += time.Since(start)
+		b.StopTimer()
+		if ts != 2 {
+			b.Fatalf("continuity broken across failover: ts=%d", ts)
+		}
+		c.Stop()
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "takeover-ms/op")
+	}
+}
+
+// BenchmarkE4MasterJoin measures commit continuity cost while peers join
+// (scenario 4).
+func BenchmarkE4MasterJoin(b *testing.B) {
+	c := mustCluster(b, 4, ringtest.FastOptions())
+	ctx := context.Background()
+	r := core.NewReplica(c.Peers[0], "join-doc", "bench")
+	expected := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Periodically grow the ring mid-workload (capped so large b.N
+		// does not build a thousand-peer ring).
+		if i%8 == 3 && len(c.Peers) < 16 {
+			b.StopTimer()
+			if _, err := c.AddPeer(c.Peers[0]); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.WaitStable(time.Minute); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := r.Insert(0, "x"); err != nil {
+			b.Fatal(err)
+		}
+		ts, err := r.Commit(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		expected++
+		if ts != expected {
+			b.Fatalf("continuity across joins: ts=%d want %d", ts, expected)
+		}
+	}
+}
+
+// BenchmarkE5Lookup measures FindSuccessor latency and hops per ring size
+// ("response times").
+func BenchmarkE5Lookup(b *testing.B) {
+	for _, n := range []int{4, 16, 32} {
+		b.Run(fmt.Sprintf("peers=%d", n), func(b *testing.B) {
+			c := mustCluster(b, n, ringtest.FastOptions())
+			time.Sleep(100 * time.Millisecond) // warm fingers
+			ctx := context.Background()
+			var hops int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, h, err := c.Peers[i%n].Node.FindSuccessor(ctx, ids.ID(uint64(i)*0x9E3779B97F4A7C15))
+				if err != nil {
+					b.Fatal(err)
+				}
+				hops += h
+			}
+			b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
+		})
+	}
+}
+
+// BenchmarkE6LogPublish measures sendToPublish for replication factors
+// n = |Hr| (availability ablation's write cost).
+func BenchmarkE6LogPublish(b *testing.B) {
+	for _, replicas := range []int{1, 3, 5} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			opts := ringtest.FastOptions()
+			opts.LogReplicas = replicas
+			c := mustCluster(b, 8, opts)
+			ctx := context.Background()
+			log := c.Peers[0].Log
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := p2plog.Record{
+					Key: "bench-doc", TS: uint64(i + 1),
+					PatchID: fmt.Sprintf("b#%d", i+1), Patch: []byte("payload"),
+				}
+				if _, err := log.Publish(ctx, rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Retrieval measures the total-order retrieval procedure
+// (baseline comparison's read path).
+func BenchmarkE7Retrieval(b *testing.B) {
+	c := mustCluster(b, 8, ringtest.FastOptions())
+	ctx := context.Background()
+	log := c.Peers[0].Log
+	const depth = 16
+	for ts := uint64(1); ts <= depth; ts++ {
+		rec := p2plog.Record{Key: "bench-doc", TS: ts, PatchID: fmt.Sprintf("b#%d", ts), Patch: []byte("payload")}
+		if _, err := log.Publish(ctx, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reader := c.Peers[3].Log
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := reader.FetchRange(ctx, "bench-doc", 0, depth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != depth {
+			b.Fatalf("got %d records", len(recs))
+		}
+	}
+}
+
+// BenchmarkE8PullUnderReplication measures Pull cost when behind by k
+// committed patches (the churn recovery path).
+func BenchmarkE8PullUnderReplication(b *testing.B) {
+	c := mustCluster(b, 8, ringtest.FastOptions())
+	ctx := context.Background()
+	writer := core.NewReplica(c.Peers[0], "bench-doc", "writer")
+	const backlog = 8
+	for i := 0; i < backlog; i++ {
+		if err := writer.Insert(0, "x"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := writer.Commit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := core.NewReplica(c.Peers[i%len(c.Peers)], "bench-doc", fmt.Sprintf("reader%d", i))
+		if err := r.Pull(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if r.CommittedTS() != backlog {
+			b.Fatalf("pull stopped at %d", r.CommittedTS())
+		}
+	}
+}
+
+// BenchmarkCoreDHTPut / Get measure the storage substrate.
+func BenchmarkCoreDHTPut(b *testing.B) {
+	c := mustCluster(b, 8, ringtest.FastOptions())
+	ctx := context.Background()
+	cl := c.Peers[0].Client
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Put(ctx, fmt.Sprintf("k-%d", i), []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreDHTGet(b *testing.B) {
+	c := mustCluster(b, 8, ringtest.FastOptions())
+	ctx := context.Background()
+	cl := c.Peers[0].Client
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		if err := cl.Put(ctx, fmt.Sprintf("k-%d", i), []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, found, err := cl.Get(ctx, fmt.Sprintf("k-%d", i%keys)); err != nil || !found {
+			b.Fatalf("get: %v %v", found, err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command p2pltr-node runs one P2P-LTR peer over real TCP, so a ring can
+// be assembled from separate processes (or machines).
+//
+// Start a ring:
+//
+//	p2pltr-node -listen 127.0.0.1:7001
+//	p2pltr-node -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//	p2pltr-node -listen 127.0.0.1:7003 -join 127.0.0.1:7001
+//
+// Optionally drive a scripted editing session from one node:
+//
+//	p2pltr-node -listen 127.0.0.1:7004 -join 127.0.0.1:7001 \
+//	    -doc Main.WebHome -site alice -edits 5
+//
+// The node prints its ring status periodically and exits on SIGINT after
+// leaving the ring gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"p2pltr/internal/chord"
+	"p2pltr/internal/core"
+	"p2pltr/internal/transport"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+		join   = flag.String("join", "", "bootstrap address of an existing ring member (empty = create a new ring)")
+		doc    = flag.String("doc", "", "optionally edit this document key")
+		site   = flag.String("site", "node", "site identity for edits")
+		edits  = flag.Int("edits", 0, "number of scripted edits to commit on -doc")
+		status = flag.Duration("status", 5*time.Second, "status print interval (0 = off)")
+	)
+	flag.Parse()
+
+	ep, err := transport.ListenTCP(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	peer := core.NewPeer(ep, core.Options{Chord: chord.DefaultConfig()})
+	fmt.Printf("p2pltr-node listening on %s (ring id %s)\n", ep.Addr(), peer.Node.ID())
+
+	if *join == "" {
+		peer.Create()
+		fmt.Println("created a new ring")
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := peer.Join(ctx, transport.Addr(*join))
+		cancel()
+		if err != nil {
+			fatal(fmt.Errorf("join %s: %w", *join, err))
+		}
+		fmt.Printf("joined ring via %s\n", *join)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *status > 0 {
+		go func() {
+			t := time.NewTicker(*status)
+			defer t.Stop()
+			for range t.C {
+				fmt.Printf("[status] succ=%s pred=%s stored=%d\n",
+					peer.Node.Successor(), peer.Node.Predecessor(), peer.DHT.Store().Len())
+			}
+		}()
+	}
+
+	if *doc != "" && *edits > 0 {
+		go func() {
+			ctx := context.Background()
+			r := core.NewReplica(peer, *doc, *site)
+			if err := r.Pull(ctx); err != nil {
+				fmt.Println("[edit] initial pull:", err)
+			}
+			for i := 0; i < *edits; i++ {
+				if err := r.Insert(0, fmt.Sprintf("%s edit %d at %s", *site, i+1, time.Now().Format(time.RFC3339))); err != nil {
+					fmt.Println("[edit] insert:", err)
+					return
+				}
+				ts, err := r.Commit(ctx)
+				if err != nil {
+					fmt.Println("[edit] commit:", err)
+					return
+				}
+				fmt.Printf("[edit] committed patch %d at ts=%d\n", i+1, ts)
+				time.Sleep(time.Second)
+			}
+			fmt.Printf("[edit] final document:\n%s\n", r.Text())
+		}()
+	}
+
+	<-stop
+	fmt.Println("leaving the ring...")
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := peer.Leave(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "leave:", err)
+	}
+	_ = ep.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,263 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pltr/internal/transport"
+)
+
+func TestCentralSingleWriter(t *testing.T) {
+	net := transport.NewSimnet()
+	srv := NewCentralServer(net.NewEndpoint("server"))
+	r := NewCentralReplica(net.NewEndpoint("c1"), srv.Addr(), "doc", "alice")
+	ctx := context.Background()
+
+	r.SetText("hello")
+	ts, err := r.Commit(ctx)
+	if err != nil || ts != 1 {
+		t.Fatalf("commit: ts=%d err=%v", ts, err)
+	}
+	r.SetText("hello\nworld")
+	ts, err = r.Commit(ctx)
+	if err != nil || ts != 2 {
+		t.Fatalf("commit2: ts=%d err=%v", ts, err)
+	}
+	if r.Text() != "hello\nworld" {
+		t.Fatalf("text %q", r.Text())
+	}
+}
+
+func TestCentralConcurrentWritersConverge(t *testing.T) {
+	net := transport.NewSimnet()
+	srv := NewCentralServer(net.NewEndpoint("server"))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const writers = 5
+	reps := make([]*CentralReplica, writers)
+	for i := range reps {
+		reps[i] = NewCentralReplica(net.NewEndpoint(fmt.Sprintf("c%d", i)), srv.Addr(), "doc", fmt.Sprintf("s%d", i))
+	}
+	var wg sync.WaitGroup
+	for i, r := range reps {
+		wg.Add(1)
+		go func(i int, r *CentralReplica) {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				r.Insert(0, fmt.Sprintf("s%d-%d", i, k))
+				if _, err := r.Commit(ctx); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for _, r := range reps {
+		if err := r.Pull(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range reps[1:] {
+		if r.Text() != reps[0].Text() {
+			t.Fatalf("divergence: %q vs %q", reps[0].Text(), r.Text())
+		}
+	}
+	if reps[0].CommittedTS() != writers*4 {
+		t.Fatalf("ts = %d", reps[0].CommittedTS())
+	}
+}
+
+func TestCentralServerIsSPOF(t *testing.T) {
+	// The motivating failure mode: crash the server, every client stalls.
+	net := transport.NewSimnet()
+	srv := NewCentralServer(net.NewEndpoint("server"))
+	r := NewCentralReplica(net.NewEndpoint("c1"), srv.Addr(), "doc", "alice")
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+
+	r.SetText("x")
+	if _, err := r.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	net.Crash(srv.Addr())
+	r.SetText("x\ny")
+	if _, err := r.Commit(ctx); err == nil {
+		t.Fatalf("commit succeeded against crashed central server")
+	}
+}
+
+func TestLWWConvergesButLoses(t *testing.T) {
+	a := NewLWWRegister("a")
+	b := NewLWWRegister("b")
+	a.Set("from-a")
+	b.Set("from-b")
+	b.Set("from-b-2") // b has clock 2, wins
+
+	lostAtA := a.Merge(b)
+	lostAtB := b.Merge(a)
+	if a.Get() != b.Get() {
+		t.Fatalf("LWW diverged: %q vs %q", a.Get(), b.Get())
+	}
+	if a.Get() != "from-b-2" {
+		t.Fatalf("winner %q", a.Get())
+	}
+	if !lostAtA {
+		t.Fatalf("a's concurrent write was not reported lost")
+	}
+	if lostAtB {
+		t.Fatalf("b lost its own winning write")
+	}
+}
+
+func TestLWWTiebreakBySite(t *testing.T) {
+	a := NewLWWRegister("a")
+	b := NewLWWRegister("b")
+	a.Set("A")
+	b.Set("B") // same clock (1): site "b" > "a" wins
+	a.Merge(b)
+	b.Merge(a)
+	if a.Get() != "B" || b.Get() != "B" {
+		t.Fatalf("tiebreak: %q %q", a.Get(), b.Get())
+	}
+}
+
+func TestLWWConcurrentMergeNoDeadlock(t *testing.T) {
+	a := NewLWWRegister("a")
+	b := NewLWWRegister("b")
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); a.Merge(b) }()
+		go func() { defer wg.Done(); b.Merge(a) }()
+	}
+	wg.Wait()
+}
+
+func TestRGASequentialEditing(t *testing.T) {
+	r := NewRGA("a")
+	mustIns := func(pos int, line string) {
+		t.Helper()
+		if _, err := r.Insert(pos, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustIns(0, "one")
+	mustIns(1, "two")
+	mustIns(1, "middle")
+	if r.Text() != "one\nmiddle\ntwo" {
+		t.Fatalf("text %q", r.Text())
+	}
+	if _, err := r.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Text() != "one\ntwo" {
+		t.Fatalf("after delete: %q", r.Text())
+	}
+	if r.Tombstones() != 1 {
+		t.Fatalf("tombstones %d", r.Tombstones())
+	}
+	if _, err := r.Insert(99, "x"); err == nil {
+		t.Fatalf("oob insert accepted")
+	}
+	if _, err := r.Delete(99); err == nil {
+		t.Fatalf("oob delete accepted")
+	}
+}
+
+func TestRGAConcurrentInsertConvergence(t *testing.T) {
+	a := NewRGA("a")
+	b := NewRGA("b")
+	opA, _ := a.Insert(0, "from-a")
+	opB, _ := b.Insert(0, "from-b")
+	a.Apply(opB)
+	b.Apply(opA)
+	if a.Text() != b.Text() {
+		t.Fatalf("diverged: %q vs %q", a.Text(), b.Text())
+	}
+	if a.Len() != 2 {
+		t.Fatalf("lost an insert: %q", a.Text())
+	}
+}
+
+func TestRGAIdempotentApply(t *testing.T) {
+	a := NewRGA("a")
+	op, _ := a.Insert(0, "x")
+	a.Apply(op)
+	a.Apply(op)
+	if a.Len() != 1 {
+		t.Fatalf("duplicate apply: %q", a.Text())
+	}
+}
+
+func TestRGAMergeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a := NewRGA("a")
+		b := NewRGA("b")
+		c := NewRGA("c")
+		reps := []*RGA{a, b, c}
+		for step := 0; step < 12; step++ {
+			r := reps[rng.Intn(len(reps))]
+			if r.Len() > 0 && rng.Intn(3) == 0 {
+				_, _ = r.Delete(rng.Intn(r.Len()))
+			} else {
+				_, _ = r.Insert(rng.Intn(r.Len()+1), fmt.Sprintf("%d-%d", trial, step))
+			}
+		}
+		// Full anti-entropy in arbitrary pair order.
+		a.Merge(b)
+		c.Merge(a)
+		b.Merge(c)
+		a.Merge(c)
+		b.Merge(a)
+		if a.Text() != b.Text() || b.Text() != c.Text() {
+			t.Fatalf("trial %d diverged:\na=%q\nb=%q\nc=%q", trial, a.Text(), b.Text(), c.Text())
+		}
+	}
+}
+
+func TestRGAInterleavingStability(t *testing.T) {
+	// Two sites type runs of lines concurrently at the head; after merge
+	// the runs must not interleave line-by-line in a way that splits one
+	// site's consecutive inserts anchored on each other.
+	a := NewRGA("a")
+	b := NewRGA("b")
+	var opsA, opsB []RGAOp
+	for i := 0; i < 3; i++ {
+		op, _ := a.Insert(i, fmt.Sprintf("a%d", i))
+		opsA = append(opsA, op)
+		op, _ = b.Insert(i, fmt.Sprintf("b%d", i))
+		opsB = append(opsB, op)
+	}
+	for _, op := range opsB {
+		a.Apply(op)
+	}
+	for _, op := range opsA {
+		b.Apply(op)
+	}
+	if a.Text() != b.Text() {
+		t.Fatalf("diverged: %q vs %q", a.Text(), b.Text())
+	}
+	// Each site's consecutive chain stays contiguous.
+	txt := a.Text()
+	for _, chain := range []string{"a0\na1\na2", "b0\nb1\nb2"} {
+		if !containsSub(txt, chain) {
+			t.Fatalf("chain %q split: %q", chain, txt)
+		}
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

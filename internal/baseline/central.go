@@ -1,0 +1,291 @@
+// Package baseline implements the comparison systems for experiment E7:
+//
+//   - a centralized reconciler (one server timestamps and logs every
+//     patch) — the single-node design whose bottleneck and single point
+//     of failure motivate P2P-LTR's introduction;
+//   - a last-writer-wins register — the trivial reconciliation that
+//     converges but loses concurrent updates;
+//   - an RGA-style replicated-growable-array text CRDT — the approach
+//     that historically superseded DHT timestamping for collaborative
+//     editing.
+//
+// The centralized reconciler runs over the same simulated network as
+// P2P-LTR so latency and availability comparisons are fair; the LWW and
+// RGA baselines are in-process algorithm implementations exchanged via
+// explicit merge calls (their network cost is modeled by the harness).
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"p2pltr/internal/msg"
+	"p2pltr/internal/ot"
+	"p2pltr/internal/patch"
+	"p2pltr/internal/transport"
+)
+
+// CentralServer is the single reconciler node: it owns the timestamp
+// counter and the full patch log of every document.
+type CentralServer struct {
+	ep transport.Endpoint
+
+	mu   sync.Mutex
+	docs map[string]*centralDoc
+}
+
+type centralDoc struct {
+	lastTS uint64
+	log    []p2pRecord // index i holds ts i+1
+}
+
+type p2pRecord struct {
+	patchID string
+	patch   []byte
+}
+
+// NewCentralServer mounts the reconciler on ep.
+func NewCentralServer(ep transport.Endpoint) *CentralServer {
+	s := &CentralServer{ep: ep, docs: make(map[string]*centralDoc)}
+	ep.SetHandler(s.handle)
+	return s
+}
+
+// Addr returns the server's address.
+func (s *CentralServer) Addr() transport.Addr { return s.ep.Addr() }
+
+func (s *CentralServer) handle(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, error) {
+	switch r := req.(type) {
+	case *msg.PingReq:
+		return &msg.Ack{}, nil
+	case *msg.ValidateReq:
+		return s.validate(r), nil
+	case *msg.LastTSReq:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		d := s.docs[r.Key]
+		if d == nil {
+			return &msg.LastTSResp{}, nil
+		}
+		return &msg.LastTSResp{LastTS: d.lastTS, Known: true}, nil
+	case *msg.DHTGetReq:
+		// Log retrieval: the ring position encodes (key, ts) lookups are
+		// not needed centrally; clients use FetchPatch instead.
+		return nil, fmt.Errorf("baseline: unsupported %T", req)
+	case *fetchReq:
+		return s.fetch(r)
+	}
+	return nil, fmt.Errorf("baseline: unhandled message %s", req.Kind())
+}
+
+func (s *CentralServer) validate(r *msg.ValidateReq) *msg.ValidateResp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.docs[r.Key]
+	if d == nil {
+		d = &centralDoc{}
+		s.docs[r.Key] = d
+	}
+	if r.TS < d.lastTS {
+		return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: d.lastTS}
+	}
+	if r.TS > d.lastTS {
+		// Centralized log is authoritative; a client cannot legitimately
+		// be ahead.
+		return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: d.lastTS}
+	}
+	d.lastTS++
+	d.log = append(d.log, p2pRecord{patchID: r.PatchID, patch: r.Patch})
+	return &msg.ValidateResp{Status: msg.ValidateOK, ValidatedTS: d.lastTS, LastTS: d.lastTS}
+}
+
+// fetchReq asks the central log for the patch at (Key, TS).
+type fetchReq struct {
+	Key string
+	TS  uint64
+}
+
+// fetchResp returns the patch bytes.
+type fetchResp struct {
+	Found   bool
+	PatchID string
+	Patch   []byte
+}
+
+// Kind implements msg.Message.
+func (*fetchReq) Kind() string { return "baseline.fetch.req" }
+
+// Kind implements msg.Message.
+func (*fetchResp) Kind() string { return "baseline.fetch.resp" }
+
+func (s *CentralServer) fetch(r *fetchReq) (msg.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.docs[r.Key]
+	if d == nil || r.TS == 0 || r.TS > uint64(len(d.log)) {
+		return &fetchResp{}, nil
+	}
+	rec := d.log[r.TS-1]
+	return &fetchResp{Found: true, PatchID: rec.patchID, Patch: rec.patch}, nil
+}
+
+// CentralReplica mirrors core.Replica's editing/commit API against the
+// centralized reconciler, so the E7 workloads run unchanged on both.
+type CentralReplica struct {
+	ep     transport.Endpoint
+	server transport.Addr
+	key    string
+	site   string
+
+	mu          sync.Mutex
+	committed   *patch.Document
+	committedTS uint64
+	tentative   []patch.Op
+	seq         uint64
+}
+
+// NewCentralReplica opens document key for site, talking to the server.
+func NewCentralReplica(ep transport.Endpoint, server transport.Addr, key, site string) *CentralReplica {
+	ep.SetHandler(func(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, error) {
+		return nil, fmt.Errorf("baseline: client received unexpected %s", req.Kind())
+	})
+	return &CentralReplica{
+		ep: ep, server: server, key: key, site: site,
+		committed: patch.NewDocument(""),
+	}
+}
+
+// Text returns committed state plus tentative edits.
+func (r *CentralReplica) Text() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.workingLocked().String()
+}
+
+// CommittedTS returns the last integrated timestamp.
+func (r *CentralReplica) CommittedTS() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.committedTS
+}
+
+func (r *CentralReplica) workingLocked() *patch.Document {
+	d := r.committed.Clone()
+	for _, op := range r.tentative {
+		_ = d.Apply(op)
+	}
+	return d
+}
+
+// SetText records the difference to text as tentative edits.
+func (r *CentralReplica) SetText(text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workingLocked()
+	r.tentative = append(r.tentative, patch.Diff(w, patch.NewDocument(text))...)
+}
+
+// Insert appends a tentative insert.
+func (r *CentralReplica) Insert(pos int, line string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tentative = append(r.tentative, patch.Op{Kind: patch.OpInsert, Pos: pos, Line: line})
+}
+
+// Commit validates the tentative patch with the central server, pulling
+// and transforming on Behind exactly like the P2P-LTR replica.
+func (r *CentralReplica) Commit(ctx context.Context) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.tentative) == 0 {
+		return r.committedTS, r.pullLocked(ctx)
+	}
+	r.seq++
+	p := patch.Patch{
+		ID:     patch.NewPatchID(r.site, r.seq),
+		Author: r.site,
+		BaseTS: r.committedTS,
+		Ops:    append([]patch.Op(nil), r.tentative...),
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return r.committedTS, err
+		}
+		enc, err := ot.Compact(p).Encode()
+		if err != nil {
+			return r.committedTS, err
+		}
+		resp, err := r.ep.Call(ctx, r.server, &msg.ValidateReq{Key: r.key, TS: r.committedTS, Patch: enc, PatchID: p.ID})
+		if err != nil {
+			return r.committedTS, err
+		}
+		vr, ok := resp.(*msg.ValidateResp)
+		if !ok {
+			return r.committedTS, fmt.Errorf("baseline: unexpected %T", resp)
+		}
+		switch vr.Status {
+		case msg.ValidateOK:
+			final := ot.Compact(p)
+			if err := r.committed.ApplyPatch(final); err != nil {
+				return r.committedTS, err
+			}
+			r.committedTS = vr.ValidatedTS
+			r.tentative = nil
+			return r.committedTS, nil
+		case msg.ValidateBehind:
+			if err := r.integrateLocked(ctx, vr.LastTS); err != nil {
+				return r.committedTS, err
+			}
+			p.Ops = append([]patch.Op(nil), r.tentative...)
+			p.BaseTS = r.committedTS
+		default:
+			return r.committedTS, fmt.Errorf("baseline: status %v", vr.Status)
+		}
+	}
+}
+
+// Pull integrates new committed patches without publishing.
+func (r *CentralReplica) Pull(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pullLocked(ctx)
+}
+
+func (r *CentralReplica) pullLocked(ctx context.Context) error {
+	resp, err := r.ep.Call(ctx, r.server, &msg.LastTSReq{Key: r.key})
+	if err != nil {
+		return err
+	}
+	lr, ok := resp.(*msg.LastTSResp)
+	if !ok {
+		return fmt.Errorf("baseline: unexpected %T", resp)
+	}
+	if lr.LastTS <= r.committedTS {
+		return nil
+	}
+	return r.integrateLocked(ctx, lr.LastTS)
+}
+
+func (r *CentralReplica) integrateLocked(ctx context.Context, lastTS uint64) error {
+	for ts := r.committedTS + 1; ts <= lastTS; ts++ {
+		resp, err := r.ep.Call(ctx, r.server, &fetchReq{Key: r.key, TS: ts})
+		if err != nil {
+			return err
+		}
+		fr, ok := resp.(*fetchResp)
+		if !ok || !fr.Found {
+			return fmt.Errorf("baseline: missing central log entry ts %d", ts)
+		}
+		cp, err := patch.Decode(fr.Patch)
+		if err != nil {
+			return err
+		}
+		r.tentative, _ = ot.TransformSeq(r.tentative, r.site, cp.Ops, cp.Author)
+		if err := r.committed.ApplyPatch(cp); err != nil {
+			return err
+		}
+		r.committedTS = ts
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"sync"
+)
+
+// LWWRegister is a last-writer-wins register over a whole document: each
+// write stamps the full text with a (logical clock, site) pair and merge
+// keeps the largest stamp. It converges trivially but discards every
+// concurrently written document version — the "lost updates" failure mode
+// P2P-LTR exists to avoid. Experiment E7 counts those losses.
+type LWWRegister struct {
+	site string
+
+	mu    sync.Mutex
+	text  string
+	clock uint64
+	stamp lwwStamp
+}
+
+type lwwStamp struct {
+	clock uint64
+	site  string
+}
+
+// less orders stamps: higher clock wins, site breaks ties.
+func (a lwwStamp) less(b lwwStamp) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.site < b.site
+}
+
+// NewLWWRegister creates a register owned by site.
+func NewLWWRegister(site string) *LWWRegister {
+	return &LWWRegister{site: site}
+}
+
+// Set writes a new document version.
+func (r *LWWRegister) Set(text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock++
+	r.text = text
+	r.stamp = lwwStamp{clock: r.clock, site: r.site}
+}
+
+// Get returns the current text.
+func (r *LWWRegister) Get() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.text
+}
+
+// Merge folds another replica's state into this one, returning true when
+// the remote version won (i.e. the local version was discarded).
+func (r *LWWRegister) Merge(other *LWWRegister) (remoteWon bool) {
+	// Lock ordering by site name avoids deadlock on concurrent merges.
+	first, second := r, other
+	if second.site < first.site {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+
+	if r.stamp.less(other.stamp) {
+		r.text = other.text
+		r.stamp = other.stamp
+		if other.clock > r.clock {
+			r.clock = other.clock
+		}
+		return true
+	}
+	if other.clock > r.clock {
+		r.clock = other.clock
+	}
+	return false
+}
+
+// Stamp exposes the current (clock, site) for tests.
+func (r *LWWRegister) Stamp() (uint64, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stamp.clock, r.stamp.site
+}

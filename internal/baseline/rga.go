@@ -1,0 +1,265 @@
+package baseline
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// RGA is a line-based Replicated Growable Array text CRDT: every line
+// carries a unique identifier (site, counter); inserts anchor after an
+// existing identifier; deletes tombstone. Operations commute, so replicas
+// converge by exchanging operations in any order, without timestamps,
+// masters, or a DHT — the design that superseded P2P-LTR-style
+// coordination for collaborative text. Experiment E7 compares its
+// behaviour (no coordination latency, but tombstone growth and no total
+// order) with P2P-LTR.
+type RGA struct {
+	site string
+
+	mu      sync.Mutex
+	counter uint64
+	// elems is the ordered sequence, including tombstones. Index 0 is a
+	// sentinel head.
+	elems []rgaElem
+	index map[rgaID]int // id -> position in elems (maintained on rebuild)
+	log   []RGAOp       // every op applied here, for anti-entropy
+	seen  map[rgaID]bool
+}
+
+type rgaID struct {
+	Site string
+	Seq  uint64
+}
+
+func (id rgaID) String() string { return fmt.Sprintf("%s:%d", id.Site, id.Seq) }
+
+// isZero reports the sentinel/absent id.
+func (id rgaID) isZero() bool { return id.Site == "" && id.Seq == 0 }
+
+// precedes gives the deterministic RGA sibling order: higher (Seq, Site)
+// sorts earlier so later concurrent inserts at the same anchor appear
+// first (standard RGA rule, any total order works as long as it is
+// global).
+func (a rgaID) precedes(b rgaID) bool {
+	if a.Seq != b.Seq {
+		return a.Seq > b.Seq
+	}
+	return a.Site > b.Site
+}
+
+type rgaElem struct {
+	id      rgaID
+	line    string
+	deleted bool
+}
+
+// RGAOp is the unit of replication.
+type RGAOp struct {
+	// Insert op when Line is meaningful; delete op when Del is true.
+	ID     rgaID
+	After  rgaID // anchor (zero = head) for inserts
+	Line   string
+	Del    bool
+	Target rgaID // for deletes
+}
+
+// NewRGA creates an empty replica owned by site.
+func NewRGA(site string) *RGA {
+	r := &RGA{site: site, index: make(map[rgaID]int), seen: make(map[rgaID]bool)}
+	r.elems = []rgaElem{{}} // head sentinel
+	return r
+}
+
+// visibleIndex returns the position in elems of the i-th visible line.
+func (r *RGA) visibleIndex(i int) int {
+	n := -1
+	for idx := 1; idx < len(r.elems); idx++ {
+		if !r.elems[idx].deleted {
+			n++
+			if n == i {
+				return idx
+			}
+		}
+	}
+	return -1
+}
+
+// Insert adds line at visible position pos and returns the op to
+// replicate.
+func (r *RGA) Insert(pos int, line string) (RGAOp, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var anchor rgaID
+	if pos > 0 {
+		idx := r.visibleIndex(pos - 1)
+		if idx < 0 {
+			return RGAOp{}, fmt.Errorf("rga: insert pos %d out of bounds", pos)
+		}
+		anchor = r.elems[idx].id
+	} else if pos < 0 {
+		return RGAOp{}, fmt.Errorf("rga: negative pos")
+	}
+	r.counter++
+	op := RGAOp{ID: rgaID{Site: r.site, Seq: r.counter}, After: anchor, Line: line}
+	r.applyLocked(op)
+	return op, nil
+}
+
+// Delete tombstones the visible line at pos and returns the op.
+func (r *RGA) Delete(pos int) (RGAOp, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := r.visibleIndex(pos)
+	if idx < 0 {
+		return RGAOp{}, fmt.Errorf("rga: delete pos %d out of bounds", pos)
+	}
+	r.counter++
+	op := RGAOp{ID: rgaID{Site: r.site, Seq: r.counter}, Del: true, Target: r.elems[idx].id}
+	r.applyLocked(op)
+	return op, nil
+}
+
+// Apply integrates a remote op (idempotent).
+func (r *RGA) Apply(op RGAOp) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.applyLocked(op)
+}
+
+func (r *RGA) applyLocked(op RGAOp) {
+	if r.seen[op.ID] {
+		return
+	}
+	r.seen[op.ID] = true
+	r.log = append(r.log, op)
+	if op.ID.Seq > r.counter && op.ID.Site == r.site {
+		r.counter = op.ID.Seq
+	}
+	if op.Del {
+		if idx, ok := r.index[op.Target]; ok {
+			r.elems[idx].deleted = true
+		} else {
+			// Target not yet inserted: RGA delivery is causal in real
+			// systems; here Merge replays logs until fixpoint, so park
+			// the op by unmarking it as seen.
+			delete(r.seen, op.ID)
+			r.log = r.log[:len(r.log)-1]
+		}
+		return
+	}
+	// Find the anchor, then skip over siblings that precede this id.
+	start := 0
+	if !op.After.isZero() {
+		idx, ok := r.index[op.After]
+		if !ok {
+			delete(r.seen, op.ID)
+			r.log = r.log[:len(r.log)-1]
+			return
+		}
+		start = idx
+	}
+	// Classic RGA skip rule: starting right after the anchor, skip every
+	// consecutive element whose id sorts earlier (was inserted with a
+	// larger timestamp); the first element with a smaller id ends the run
+	// of concurrent siblings.
+	ins := start + 1
+	for ins < len(r.elems) && r.elems[ins].id.precedes(op.ID) {
+		ins++
+	}
+	r.elems = append(r.elems, rgaElem{})
+	copy(r.elems[ins+1:], r.elems[ins:])
+	r.elems[ins] = rgaElem{id: op.ID, line: op.Line}
+	r.rebuildIndex()
+}
+
+func (r *RGA) rebuildIndex() {
+	for i := 1; i < len(r.elems); i++ {
+		r.index[r.elems[i].id] = i
+	}
+}
+
+// Merge performs anti-entropy with another replica: both exchange their
+// op logs and replay until fixpoint. Convergence follows from op
+// commutativity and idempotence.
+func (r *RGA) Merge(other *RGA) {
+	opsA := r.Ops()
+	opsB := other.Ops()
+	for _, op := range opsB {
+		r.Apply(op)
+	}
+	for _, op := range opsA {
+		other.Apply(op)
+	}
+	// Replay until both sides absorbed parked (out-of-order) ops.
+	for i := 0; i < 4; i++ {
+		na, nb := len(r.Ops()), len(other.Ops())
+		for _, op := range other.Ops() {
+			r.Apply(op)
+		}
+		for _, op := range r.Ops() {
+			other.Apply(op)
+		}
+		if len(r.Ops()) == na && len(other.Ops()) == nb {
+			break
+		}
+	}
+}
+
+// Ops returns a copy of the local op log.
+func (r *RGA) Ops() []RGAOp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RGAOp(nil), r.log...)
+}
+
+// Text renders the visible lines.
+func (r *RGA) Text() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for _, e := range r.elems[1:] {
+		if !e.deleted {
+			lines = append(lines, e.line)
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Len returns the number of visible lines.
+func (r *RGA) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.elems[1:] {
+		if !e.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Tombstones returns the number of deleted elements retained (the CRDT's
+// metadata cost, reported by E7).
+func (r *RGA) Tombstones() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.elems[1:] {
+		if e.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// IDsInOrder exposes element ids (including tombstones) for tests.
+func (r *RGA) IDsInOrder() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.elems)-1)
+	for _, e := range r.elems[1:] {
+		out = append(out, e.id.String())
+	}
+	return out
+}

@@ -1,0 +1,396 @@
+// Package chord implements the Chord distributed hash table protocol
+// (Stoica et al., SIGCOMM 2001) that P2P-LTR runs on.
+//
+// The paper's prototype used OpenChord but replaced its successor
+// management and stabilization protocols with custom ones suited to
+// P2P-LTR; this package implements the protocol from scratch with those
+// requirements built in:
+//
+//   - successor lists for failover (the Master-key-Succ and Log-Peer-Succ
+//     roles are "my successor on the ring");
+//   - periodic stabilization (stabilize / fix-fingers / check-predecessor);
+//   - state handover on join (the old responsible transfers keys and
+//     timestamps to the new node) and on voluntary leave (the departing
+//     node pushes its state to its successor);
+//   - a service layer so the DHT store, the KTS timestamp service and the
+//     P2P-Log all share one ring.
+//
+// Lookups are resolved iteratively from the caller using finger tables,
+// falling back across successor-list entries when fingers are stale, and
+// report the hop count (experiment E5 checks the O(log N) shape).
+package chord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2pltr/internal/ids"
+	"p2pltr/internal/msg"
+	"p2pltr/internal/transport"
+)
+
+// MaxHops bounds lookup routing; a lookup that exceeds it fails rather
+// than looping on an inconsistent ring.
+const MaxHops = 160
+
+// ErrLookupFailed is returned when a lookup cannot make progress (all
+// candidate next hops are dead or the hop budget is exhausted).
+var ErrLookupFailed = errors.New("chord: lookup failed")
+
+// Config tunes protocol timing. The zero value is unusable; use
+// DefaultConfig (real-time) or FastConfig (simulation/tests).
+type Config struct {
+	// SuccListLen is the successor-list length r. Tolerates r-1
+	// simultaneous successive failures.
+	SuccListLen int
+	// StabilizeEvery is the period of the stabilize task.
+	StabilizeEvery time.Duration
+	// FixFingersEvery is the period of the fix-fingers task (one finger
+	// per tick, round-robin).
+	FixFingersEvery time.Duration
+	// CheckPredEvery is the period of the predecessor liveness check.
+	CheckPredEvery time.Duration
+	// CallTimeout bounds every maintenance RPC; a peer that misses it is
+	// suspected of failure (semi-synchronous model).
+	CallTimeout time.Duration
+}
+
+// DefaultConfig suits real deployments over TCP.
+func DefaultConfig() Config {
+	return Config{
+		SuccListLen:     8,
+		StabilizeEvery:  250 * time.Millisecond,
+		FixFingersEvery: 100 * time.Millisecond,
+		CheckPredEvery:  250 * time.Millisecond,
+		CallTimeout:     2 * time.Second,
+	}
+}
+
+// FastConfig suits simulated networks and tests: aggressive timers so
+// rings converge in tens of milliseconds.
+func FastConfig() Config {
+	return Config{
+		SuccListLen:     6,
+		StabilizeEvery:  5 * time.Millisecond,
+		FixFingersEvery: 2 * time.Millisecond,
+		CheckPredEvery:  10 * time.Millisecond,
+		CallTimeout:     250 * time.Millisecond,
+	}
+}
+
+// Service is a subsystem (DHT store, KTS, P2P-Log) mounted on a node.
+// Handlers must be safe for concurrent use.
+type Service interface {
+	// Name identifies the service in transferred state items.
+	Name() string
+	// HandleRPC processes req if its type belongs to this service,
+	// returning handled=false otherwise.
+	HandleRPC(ctx context.Context, from transport.Addr, req msg.Message) (resp msg.Message, handled bool, err error)
+	// ExportOutside returns (and locally retires) all state whose ring
+	// position is NOT in (newPred, self]: it is handed to a joining
+	// predecessor that now owns it.
+	ExportOutside(newPred, self ids.ID) []msg.StateItem
+	// ExportAll returns all state; used when this node leaves voluntarily.
+	ExportAll() []msg.StateItem
+	// Import installs state items received from a departing or
+	// handing-over peer.
+	Import(items []msg.StateItem)
+}
+
+// Maintainer is implemented by services that need a periodic maintenance
+// tick (e.g. the DHT service re-replicating its slots to the current
+// successor). The node invokes Maintain at a multiple of the stabilize
+// interval while running.
+type Maintainer interface {
+	Maintain(ctx context.Context)
+}
+
+// Ring is the view of the node that services depend on; *Node implements
+// it. Narrowing the dependency keeps services testable.
+type Ring interface {
+	Ref() msg.NodeRef
+	Successor() msg.NodeRef
+	SuccessorList() []msg.NodeRef
+	Predecessor() msg.NodeRef
+	FindSuccessor(ctx context.Context, key ids.ID) (msg.NodeRef, int, error)
+	Call(ctx context.Context, to transport.Addr, req msg.Message) (msg.Message, error)
+	Owns(key ids.ID) bool
+}
+
+// Node is one Chord peer.
+type Node struct {
+	cfg Config
+	ep  transport.Endpoint
+	id  ids.ID
+	ref msg.NodeRef
+
+	mu      sync.RWMutex
+	pred    msg.NodeRef
+	succs   []msg.NodeRef // succs[0] is the immediate successor; never empty once started
+	fingers [ids.Bits]msg.NodeRef
+	nextFix int
+	started bool
+	stopped bool
+
+	services []Service
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// lookupHops accumulates hop counts for experiments.
+	statsMu     sync.Mutex
+	lookupCount int64
+	hopTotal    int64
+}
+
+// NewNode creates a node bound to ep. The node's ring ID is the hash of
+// its transport address, as in consistent hashing; tests may override it
+// with NewNodeWithID.
+func NewNode(ep transport.Endpoint, cfg Config) *Node {
+	return NewNodeWithID(ep, ids.Hash([]byte(ep.Addr())), cfg)
+}
+
+// NewNodeWithID creates a node with an explicit ring identifier.
+func NewNodeWithID(ep transport.Endpoint, id ids.ID, cfg Config) *Node {
+	if cfg.SuccListLen <= 0 {
+		cfg = DefaultConfig()
+	}
+	n := &Node{
+		cfg: cfg,
+		ep:  ep,
+		id:  id,
+		ref: msg.NodeRef{ID: id, Addr: string(ep.Addr())},
+	}
+	ep.SetHandler(n.handle)
+	return n
+}
+
+// Attach mounts a service on the node. Must be called before Create/Join.
+func (n *Node) Attach(s Service) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		panic("chord: Attach after start")
+	}
+	n.services = append(n.services, s)
+}
+
+// Ref implements Ring.
+func (n *Node) Ref() msg.NodeRef { return n.ref }
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() transport.Addr { return n.ep.Addr() }
+
+// Successor implements Ring.
+func (n *Node) Successor() msg.NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if len(n.succs) == 0 {
+		return n.ref
+	}
+	return n.succs[0]
+}
+
+// SuccessorList implements Ring; it returns a copy.
+func (n *Node) SuccessorList() []msg.NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]msg.NodeRef, len(n.succs))
+	copy(out, n.succs)
+	return out
+}
+
+// Predecessor implements Ring.
+func (n *Node) Predecessor() msg.NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.pred
+}
+
+// Owns implements Ring: the node is responsible for key iff
+// key ∈ (predecessor, self]. With no known predecessor the node claims the
+// key (single-node ring or transient join state; stabilization corrects
+// over-claiming, and write-once log slots make double-claiming harmless).
+func (n *Node) Owns(key ids.ID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.pred.IsZero() || n.pred.ID == n.id {
+		return true
+	}
+	return ids.BetweenRightIncl(key, n.pred.ID, n.id)
+}
+
+// Call implements Ring: a raw RPC bounded by the node's per-call timeout
+// (the semi-synchronous model's failure-suspicion bound). The timeout
+// composes with any caller deadline — whichever expires first wins — so a
+// lost message costs one CallTimeout, not the caller's whole budget.
+func (n *Node) Call(ctx context.Context, to transport.Addr, req msg.Message) (msg.Message, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
+	defer cancel()
+	if to == n.ep.Addr() {
+		// Local fast path: avoids transport self-dial and lock reentrancy
+		// hazards.
+		return n.handle(ctx, n.ep.Addr(), req)
+	}
+	return n.ep.Call(ctx, to, req)
+}
+
+// Create bootstraps a new ring containing only this node.
+func (n *Node) Create() {
+	n.mu.Lock()
+	n.pred = n.ref
+	n.succs = []msg.NodeRef{n.ref}
+	for i := range n.fingers {
+		n.fingers[i] = n.ref
+	}
+	n.mu.Unlock()
+	n.start()
+}
+
+// Join adds the node to the ring reachable through bootstrap. It locates
+// its successor, installs it, requests the state handover the paper
+// requires ("the old responsible transfers its keys and timestamps to the
+// new Master-key"), and starts maintenance.
+func (n *Node) Join(ctx context.Context, bootstrap transport.Addr) error {
+	resp, err := n.Call(ctx, bootstrap, &msg.FindSuccessorReq{Key: n.id})
+	if err != nil {
+		return fmt.Errorf("chord: join via %s: %w", bootstrap, err)
+	}
+	fs, ok := resp.(*msg.FindSuccessorResp)
+	if !ok {
+		return fmt.Errorf("chord: join: unexpected response %T", resp)
+	}
+	succ := fs.Node
+	if succ.ID == n.id && succ.Addr != string(n.ep.Addr()) {
+		return fmt.Errorf("chord: ID collision with %s", succ.Addr)
+	}
+
+	n.mu.Lock()
+	n.pred = msg.NodeRef{}
+	n.succs = []msg.NodeRef{succ}
+	for i := range n.fingers {
+		n.fingers[i] = succ
+	}
+	n.mu.Unlock()
+
+	// Ask the successor to hand over the key range we now own.
+	if succ.Addr != string(n.ep.Addr()) {
+		hresp, err := n.Call(ctx, transport.Addr(succ.Addr), &msg.HandoverReq{NewNode: n.ref})
+		if err != nil {
+			return fmt.Errorf("chord: handover from %s: %w", succ.Addr, err)
+		}
+		if h, ok := hresp.(*msg.HandoverResp); ok {
+			n.importItems(h.Items)
+		}
+	}
+
+	n.start()
+	// Proactively notify so the ring links in without waiting a full
+	// stabilization round.
+	_, _ = n.Call(ctx, transport.Addr(succ.Addr), &msg.NotifyReq{Candidate: n.ref})
+	return nil
+}
+
+// Leave departs gracefully: all service state is pushed to the successor,
+// maintenance stops, and the endpoint closes so other peers observe the
+// departure immediately (the paper's "Master-key peer leaves the system
+// normally" scenario).
+func (n *Node) Leave(ctx context.Context) error {
+	succ := n.firstLiveSuccessor(ctx)
+	n.stop()
+	defer n.ep.Close()
+	if succ.IsZero() || succ.ID == n.id {
+		return nil // last node: state dies with the ring
+	}
+	var items []msg.StateItem
+	for _, s := range n.services {
+		items = append(items, s.ExportAll()...)
+	}
+	_, err := n.Call(ctx, transport.Addr(succ.Addr), &msg.AbsorbReq{Leaving: n.ref, Items: items})
+	if err != nil {
+		return fmt.Errorf("chord: leave: absorb by %s: %w", succ.Addr, err)
+	}
+	return nil
+}
+
+// Stop halts maintenance without any protocol (fail-stop). Used with
+// Simnet.Crash to model failures.
+func (n *Node) Stop() { n.stop() }
+
+func (n *Node) start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.stopped = false
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
+	n.mu.Unlock()
+
+	run := func(every time.Duration, f func(context.Context)) {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					f(ctx)
+				}
+			}
+		}()
+	}
+	run(n.cfg.StabilizeEvery, n.stabilize)
+	run(n.cfg.FixFingersEvery, n.fixFingers)
+	run(n.cfg.CheckPredEvery, n.checkPredecessor)
+	run(4*n.cfg.StabilizeEvery, func(ctx context.Context) {
+		for _, s := range n.services {
+			if m, ok := s.(Maintainer); ok {
+				m.Maintain(ctx)
+			}
+		}
+	})
+}
+
+func (n *Node) stop() {
+	n.mu.Lock()
+	if !n.started || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.started = false
+	cancel := n.cancel
+	n.mu.Unlock()
+	cancel()
+	n.wg.Wait()
+}
+
+// Running reports whether maintenance is active.
+func (n *Node) Running() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.started && !n.stopped
+}
+
+// LookupStats returns the number of lookups initiated at this node and
+// their mean hop count.
+func (n *Node) LookupStats() (count int64, meanHops float64) {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	if n.lookupCount == 0 {
+		return 0, 0
+	}
+	return n.lookupCount, float64(n.hopTotal) / float64(n.lookupCount)
+}

@@ -1,0 +1,129 @@
+package chord
+
+import (
+	"context"
+	"fmt"
+
+	"p2pltr/internal/ids"
+	"p2pltr/internal/msg"
+	"p2pltr/internal/transport"
+)
+
+// handle is the transport-level dispatcher: Chord maintenance messages are
+// served here, everything else is offered to the mounted services.
+func (n *Node) handle(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, error) {
+	switch r := req.(type) {
+	case *msg.PingReq:
+		return &msg.Ack{}, nil
+	case *msg.NeighborsReq:
+		return n.localNeighbors(), nil
+	case *msg.FindSuccessorReq:
+		return n.handleFindSuccessor(ctx, r)
+	case *msg.NotifyReq:
+		n.handleNotify(r.Candidate)
+		return &msg.Ack{}, nil
+	case *msg.HandoverReq:
+		return n.handleHandover(r)
+	case *msg.AbsorbReq:
+		n.handleAbsorb(r)
+		return &msg.Ack{}, nil
+	case *msg.StateTransferReq:
+		n.importItems(r.Items)
+		return &msg.Ack{}, nil
+	}
+	for _, s := range n.services {
+		resp, handled, err := s.HandleRPC(ctx, from, req)
+		if handled {
+			return resp, err
+		}
+	}
+	return nil, fmt.Errorf("chord: %s: unhandled message %s", n.ref, req.Kind())
+}
+
+// handleNotify implements Chord's notify: adopt Candidate as predecessor
+// if we have none or it lies in (pred, self). Adopting a new predecessor
+// moves key responsibility, so state the node no longer owns migrates to
+// the new predecessor — this is the stabilization-time complement of the
+// join-time handover, needed when several peers join in quick succession
+// and the ring links up only through stabilization.
+func (n *Node) handleNotify(cand msg.NodeRef) {
+	if cand.IsZero() || cand.ID == n.id {
+		return
+	}
+	n.mu.Lock()
+	adopted := false
+	if n.pred.IsZero() || n.pred.ID == n.id || ids.Between(cand.ID, n.pred.ID, n.id) {
+		n.pred = cand
+		adopted = true
+	}
+	n.mu.Unlock()
+	if !adopted {
+		return
+	}
+	var items []msg.StateItem
+	for _, s := range n.services {
+		items = append(items, s.ExportOutside(cand.ID, n.id)...)
+	}
+	if len(items) == 0 {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+		defer cancel()
+		if _, err := n.Call(ctx, transport.Addr(cand.Addr), &msg.StateTransferReq{From: n.ref, Items: items}); err != nil {
+			// The new predecessor vanished before the transfer landed;
+			// re-adopt the items so they are not lost and let the next
+			// stabilization round retry the migration.
+			n.importItems(items)
+		}
+	}()
+}
+
+// handleHandover serves a joining predecessor: every service exports the
+// state the new node now owns (ring positions outside (newNode, self]),
+// and we adopt the new node as predecessor immediately so responsibility
+// flips atomically with the transfer.
+func (n *Node) handleHandover(r *msg.HandoverReq) (msg.Message, error) {
+	newNode := r.NewNode
+	if newNode.IsZero() {
+		return nil, fmt.Errorf("chord: handover: zero node")
+	}
+	// Adopt as predecessor first (if it qualifies): from this moment we
+	// stop claiming the transferred range, so no new state lands in it
+	// while the export is assembled.
+	n.handleNotify(newNode)
+
+	var items []msg.StateItem
+	for _, s := range n.services {
+		items = append(items, s.ExportOutside(newNode.ID, n.id)...)
+	}
+	return &msg.HandoverResp{Items: items}, nil
+}
+
+// handleAbsorb installs the state pushed by a voluntarily leaving
+// predecessor.
+func (n *Node) handleAbsorb(r *msg.AbsorbReq) {
+	n.importItems(r.Items)
+	n.mu.Lock()
+	if n.pred.Addr == r.Leaving.Addr {
+		n.pred = msg.NodeRef{}
+	}
+	n.mu.Unlock()
+	n.evict(r.Leaving)
+}
+
+// importItems routes transferred state items to their owning services.
+func (n *Node) importItems(items []msg.StateItem) {
+	if len(items) == 0 {
+		return
+	}
+	byService := make(map[string][]msg.StateItem)
+	for _, it := range items {
+		byService[it.Service] = append(byService[it.Service], it)
+	}
+	for _, s := range n.services {
+		if batch := byService[s.Name()]; len(batch) > 0 {
+			s.Import(batch)
+		}
+	}
+}

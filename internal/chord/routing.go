@@ -1,0 +1,161 @@
+package chord
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"p2pltr/internal/ids"
+	"p2pltr/internal/msg"
+	"p2pltr/internal/transport"
+)
+
+// lookupRetries is how many times a lookup restarts from scratch after
+// running into a dead hop, giving stabilization time to repair the ring.
+const lookupRetries = 4
+
+// FindSuccessor resolves successor(key) iteratively from this node,
+// returning the responsible peer and the number of routing hops taken.
+func (n *Node) FindSuccessor(ctx context.Context, key ids.ID) (msg.NodeRef, int, error) {
+	var lastErr error
+	for attempt := 0; attempt <= lookupRetries; attempt++ {
+		if attempt > 0 {
+			// Give stabilization a beat to route around the failure.
+			select {
+			case <-ctx.Done():
+				return msg.NodeRef{}, 0, ctx.Err()
+			case <-time.After(2 * n.cfg.StabilizeEvery):
+			}
+		}
+		ref, hops, err := n.lookupOnce(ctx, key)
+		if err == nil {
+			n.statsMu.Lock()
+			n.lookupCount++
+			n.hopTotal += int64(hops)
+			n.statsMu.Unlock()
+			return ref, hops, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return msg.NodeRef{}, 0, lastErr
+}
+
+// lookupOnce walks the ring once: at each step the current node either
+// terminates (key ∈ (cur, cur.successor]) or redirects to its closest
+// preceding finger. A dead hop aborts the walk (the caller retries).
+func (n *Node) lookupOnce(ctx context.Context, key ids.ID) (msg.NodeRef, int, error) {
+	// Local first step.
+	succ := n.Successor()
+	if ids.BetweenRightIncl(key, n.id, succ.ID) {
+		return succ, 1, nil
+	}
+	cur := n.closestPreceding(key)
+	if cur.ID == n.id {
+		return succ, 1, nil // best effort on a transiently inconsistent ring
+	}
+
+	for hops := 1; hops < MaxHops; hops++ {
+		resp, err := n.Call(ctx, transport.Addr(cur.Addr), &msg.FindSuccessorReq{Key: key, Hops: hops})
+		if err != nil {
+			if transport.IsUnavailable(err) {
+				n.evict(cur)
+			}
+			return msg.NodeRef{}, hops, fmt.Errorf("%w: hop via %s: %v", ErrLookupFailed, cur.Addr, err)
+		}
+		fs, ok := resp.(*msg.FindSuccessorResp)
+		if !ok {
+			return msg.NodeRef{}, hops, fmt.Errorf("%w: unexpected %T from %s", ErrLookupFailed, resp, cur.Addr)
+		}
+		if fs.Final {
+			return fs.Node, hops + 1, nil
+		}
+		if fs.Node.ID == cur.ID || fs.Node.IsZero() {
+			return msg.NodeRef{}, hops, fmt.Errorf("%w: no progress at %s", ErrLookupFailed, cur.Addr)
+		}
+		cur = fs.Node
+	}
+	return msg.NodeRef{}, MaxHops, fmt.Errorf("%w: hop budget exhausted for %s", ErrLookupFailed, key)
+}
+
+// handleFindSuccessor serves one routing step: it answers Final with the
+// successor if key ∈ (self, successor], otherwise it redirects to the
+// closest preceding node it knows of.
+func (n *Node) handleFindSuccessor(ctx context.Context, req *msg.FindSuccessorReq) (msg.Message, error) {
+	if req.Hops > MaxHops {
+		return nil, fmt.Errorf("chord: hop budget exhausted at %s", n.ref)
+	}
+	succ := n.Successor()
+	if ids.BetweenRightIncl(req.Key, n.id, succ.ID) {
+		return &msg.FindSuccessorResp{Node: succ, Hops: req.Hops + 1, Final: true}, nil
+	}
+	next := n.closestPreceding(req.Key)
+	if next.ID == n.id {
+		// We know nothing closer: hand out our successor as a best-effort
+		// final answer rather than looping.
+		return &msg.FindSuccessorResp{Node: succ, Hops: req.Hops + 1, Final: true}, nil
+	}
+	return &msg.FindSuccessorResp{Node: next, Hops: req.Hops + 1, Final: false}, nil
+}
+
+// closestPreceding scans the finger table (then the successor list) for
+// the highest node in (self, key).
+func (n *Node) closestPreceding(key ids.ID) msg.NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for i := ids.Bits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if !f.IsZero() && f.ID != n.id && ids.Between(f.ID, n.id, key) {
+			return f
+		}
+	}
+	var best msg.NodeRef
+	for _, s := range n.succs {
+		if !s.IsZero() && s.ID != n.id && ids.Between(s.ID, n.id, key) {
+			best = s // successor list is ordered; the last match is closest
+		}
+	}
+	if !best.IsZero() {
+		return best
+	}
+	return n.ref
+}
+
+// probe performs a cheap liveness check.
+func (n *Node) probe(ctx context.Context, ref msg.NodeRef) bool {
+	if ref.Addr == string(n.ep.Addr()) {
+		return true
+	}
+	resp, err := n.Call(ctx, transport.Addr(ref.Addr), &msg.PingReq{})
+	if err != nil {
+		return false
+	}
+	_, ok := resp.(*msg.Ack)
+	return ok
+}
+
+// evict removes a dead node from the local routing state.
+func (n *Node) evict(dead msg.NodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range n.fingers {
+		if n.fingers[i].Addr == dead.Addr {
+			n.fingers[i] = msg.NodeRef{}
+		}
+	}
+	keep := n.succs[:0]
+	for _, s := range n.succs {
+		if s.Addr != dead.Addr {
+			keep = append(keep, s)
+		}
+	}
+	if len(keep) == 0 {
+		keep = append(keep, n.ref)
+	}
+	n.succs = keep
+	if n.pred.Addr == dead.Addr {
+		n.pred = msg.NodeRef{}
+	}
+}

@@ -1,0 +1,61 @@
+package chord
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"p2pltr/internal/ids"
+	"p2pltr/internal/msg"
+	"p2pltr/internal/transport"
+)
+
+// recorderService counts exports/imports; it handles no RPCs.
+type recorderService struct {
+	name     string
+	mu       sync.Mutex
+	items    []msg.StateItem
+	exports  atomic.Int64
+	imported atomic.Int64
+}
+
+func newRecorderService(name string) *recorderService {
+	return &recorderService{name: name}
+}
+
+func (r *recorderService) Name() string { return r.name }
+
+func (r *recorderService) HandleRPC(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, bool, error) {
+	return nil, false, nil
+}
+
+func (r *recorderService) ExportOutside(newPred, self ids.ID) []msg.StateItem {
+	r.exports.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out, keep []msg.StateItem
+	for _, it := range r.items {
+		if ids.BetweenRightIncl(it.ID, newPred, self) {
+			keep = append(keep, it)
+		} else {
+			out = append(out, it)
+		}
+	}
+	r.items = keep
+	return out
+}
+
+func (r *recorderService) ExportAll() []msg.StateItem {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.items
+	r.items = nil
+	return out
+}
+
+func (r *recorderService) Import(items []msg.StateItem) {
+	r.imported.Add(int64(len(items)))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items = append(r.items, items...)
+}

@@ -1,0 +1,170 @@
+package chord
+
+import (
+	"context"
+
+	"p2pltr/internal/ids"
+	"p2pltr/internal/msg"
+	"p2pltr/internal/transport"
+)
+
+// stabilize is the core ring-repair task: it verifies the immediate
+// successor, adopts a closer one if the successor reports a predecessor
+// between us and it, rebuilds the successor list from the successor's
+// list, and notifies the successor of our existence.
+func (n *Node) stabilize(ctx context.Context) {
+	succ, nb := n.liveSuccessorNeighbors(ctx)
+	if succ.IsZero() {
+		// Every known successor is dead; fall back to a self-loop and let
+		// fix-fingers rediscover the ring (it cannot, if we are truly
+		// alone, which is then correct).
+		n.mu.Lock()
+		n.succs = []msg.NodeRef{n.ref}
+		n.mu.Unlock()
+		return
+	}
+
+	// Rule 1: if succ.pred ∈ (self, succ), it is a closer successor.
+	if nb != nil && !nb.Pred.IsZero() && nb.Pred.ID != n.id &&
+		ids.Between(nb.Pred.ID, n.id, succ.ID) {
+		if cand := nb.Pred; n.probe(ctx, cand) {
+			if cnb := n.neighborsOf(ctx, cand); cnb != nil {
+				succ, nb = cand, cnb
+			}
+		}
+	}
+
+	// Rebuild the successor list: succ followed by succ's own list.
+	list := make([]msg.NodeRef, 0, n.cfg.SuccListLen)
+	list = append(list, succ)
+	if nb != nil {
+		for _, s := range nb.Succs {
+			if len(list) >= n.cfg.SuccListLen {
+				break
+			}
+			if s.IsZero() || s.ID == n.id || containsRef(list, s) {
+				continue
+			}
+			list = append(list, s)
+		}
+	}
+	n.mu.Lock()
+	n.succs = list
+	n.mu.Unlock()
+
+	// Notify succ that we might be its predecessor.
+	if succ.ID != n.id {
+		_, _ = n.Call(ctx, transport.Addr(succ.Addr), &msg.NotifyReq{Candidate: n.ref})
+	}
+}
+
+// liveSuccessorNeighbors returns the first successor-list entry that
+// answers a Neighbors probe, evicting dead ones along the way.
+func (n *Node) liveSuccessorNeighbors(ctx context.Context) (msg.NodeRef, *msg.NeighborsResp) {
+	for {
+		n.mu.RLock()
+		var cand msg.NodeRef
+		for _, s := range n.succs {
+			if !s.IsZero() {
+				cand = s
+				break
+			}
+		}
+		n.mu.RUnlock()
+		if cand.IsZero() {
+			return msg.NodeRef{}, nil
+		}
+		if cand.ID == n.id {
+			return n.ref, n.localNeighbors()
+		}
+		if nb := n.neighborsOf(ctx, cand); nb != nil {
+			return cand, nb
+		}
+		n.evict(cand)
+	}
+}
+
+// neighborsOf probes ref for its ring neighborhood; nil means unreachable.
+func (n *Node) neighborsOf(ctx context.Context, ref msg.NodeRef) *msg.NeighborsResp {
+	resp, err := n.Call(ctx, transport.Addr(ref.Addr), &msg.NeighborsReq{})
+	if err != nil {
+		return nil
+	}
+	nb, ok := resp.(*msg.NeighborsResp)
+	if !ok {
+		return nil
+	}
+	return nb
+}
+
+// localNeighbors builds a NeighborsResp describing this node.
+func (n *Node) localNeighbors() *msg.NeighborsResp {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	succs := make([]msg.NodeRef, len(n.succs))
+	copy(succs, n.succs)
+	return &msg.NeighborsResp{Self: n.ref, Pred: n.pred, Succs: succs}
+}
+
+// fixFingers refreshes one finger per invocation, round-robin, by looking
+// up successor(self + 2^i).
+func (n *Node) fixFingers(ctx context.Context) {
+	n.mu.Lock()
+	i := n.nextFix
+	n.nextFix = (n.nextFix + 1) % ids.Bits
+	n.mu.Unlock()
+
+	target := ids.PowerOfTwoOffset(n.id, i)
+	ref, _, err := n.lookupOnce(ctx, target)
+	if err != nil {
+		return // transient; next round will retry
+	}
+	n.mu.Lock()
+	n.fingers[i] = ref
+	n.mu.Unlock()
+}
+
+// checkPredecessor clears a dead predecessor so that Notify can install a
+// live one and key responsibility reflows.
+func (n *Node) checkPredecessor(ctx context.Context) {
+	n.mu.RLock()
+	pred := n.pred
+	n.mu.RUnlock()
+	if pred.IsZero() || pred.ID == n.id {
+		return
+	}
+	if !n.probe(ctx, pred) {
+		n.mu.Lock()
+		if n.pred.Addr == pred.Addr {
+			n.pred = msg.NodeRef{}
+		}
+		n.mu.Unlock()
+		// The predecessor's failure makes this node responsible for its
+		// keys. Services holding replicas (the KTS Master-Succ role)
+		// promote them on demand when the first request arrives.
+	}
+}
+
+// firstLiveSuccessor returns the first reachable successor (used by
+// Leave); zero if none.
+func (n *Node) firstLiveSuccessor(ctx context.Context) msg.NodeRef {
+	list := n.SuccessorList()
+	for _, s := range list {
+		if s.IsZero() || s.ID == n.id {
+			continue
+		}
+		if n.probe(ctx, s) {
+			return s
+		}
+	}
+	return msg.NodeRef{}
+}
+
+func containsRef(list []msg.NodeRef, r msg.NodeRef) bool {
+	for _, x := range list {
+		if x.Addr == r.Addr {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+// Package core assembles P2P-LTR and exposes its public API.
+//
+// A Peer is a full ring member: a Chord node hosting the DHT storage
+// service (which also backs the P2P-Log's write-once replica slots) and
+// the KTS timestamp service. A Replica is the user-application side: the
+// local primary copy of one document at a user peer, with the paper's
+// three procedures — edit locally (tentative patch), validate the patch
+// timestamp (retrieving and reconciling missing patches when behind), and
+// publish the validated patch to the P2P-Log.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"p2pltr/internal/chord"
+	"p2pltr/internal/dht"
+	"p2pltr/internal/kts"
+	"p2pltr/internal/p2plog"
+	"p2pltr/internal/transport"
+)
+
+// Options configures a peer.
+type Options struct {
+	// Chord tunes the ring maintenance; zero value selects
+	// chord.DefaultConfig.
+	Chord chord.Config
+	// LogReplicas is n = |Hr|, the patch replication factor
+	// (p2plog.DefaultReplicas if zero).
+	LogReplicas int
+	// ClientAttempts bounds per-operation lookup+call retries (default 6).
+	ClientAttempts int
+	// ClientBackoff separates retries (default 2x stabilize interval).
+	ClientBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Chord.SuccListLen == 0 {
+		o.Chord = chord.DefaultConfig()
+	}
+	if o.LogReplicas == 0 {
+		o.LogReplicas = p2plog.DefaultReplicas
+	}
+	if o.ClientAttempts == 0 {
+		o.ClientAttempts = 6
+	}
+	if o.ClientBackoff == 0 {
+		o.ClientBackoff = 2 * o.Chord.StabilizeEvery
+	}
+	return o
+}
+
+// Peer is one P2P-LTR ring member. Depending on the keys it is
+// responsible for, it simultaneously plays the paper's Master-key,
+// Master-key-Succ, Log-Peer and Log-Peer-Succ roles; with a Replica
+// attached it is also a User Peer.
+type Peer struct {
+	opts Options
+
+	Node *chord.Node
+	DHT  *dht.Service
+	KTS  *kts.Service
+
+	Client *dht.Client
+	Log    *p2plog.Log
+}
+
+// NewPeer wires a peer onto the given transport endpoint.
+func NewPeer(ep transport.Endpoint, opts Options) *Peer {
+	opts = opts.withDefaults()
+	node := chord.NewNode(ep, opts.Chord)
+	p := &Peer{opts: opts, Node: node}
+	p.DHT = dht.NewService()
+	p.DHT.SetRing(node)
+	p.Client = dht.NewClient(node, opts.ClientAttempts, opts.ClientBackoff)
+	p.Log = p2plog.New(p.Client, opts.LogReplicas)
+	p.KTS = kts.NewService(node, p.Log)
+	node.Attach(p.DHT)
+	node.Attach(p.KTS)
+	return p
+}
+
+// Create bootstraps a new ring with this peer as its only member.
+func (p *Peer) Create() { p.Node.Create() }
+
+// Join adds the peer to the ring reachable through bootstrap.
+func (p *Peer) Join(ctx context.Context, bootstrap transport.Addr) error {
+	return p.Node.Join(ctx, bootstrap)
+}
+
+// Leave departs gracefully, transferring keys and timestamps to the
+// successor (the paper's normal Master-key departure).
+func (p *Peer) Leave(ctx context.Context) error { return p.Node.Leave(ctx) }
+
+// Stop halts the peer without any protocol (fail-stop crash model).
+func (p *Peer) Stop() { p.Node.Stop() }
+
+// Addr returns the peer's transport address.
+func (p *Peer) Addr() transport.Addr { return p.Node.Addr() }
+
+// String identifies the peer.
+func (p *Peer) String() string { return fmt.Sprintf("peer(%s)", p.Node.Ref()) }

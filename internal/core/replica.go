@@ -1,0 +1,384 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2pltr/internal/ids"
+	"p2pltr/internal/msg"
+	"p2pltr/internal/ot"
+	"p2pltr/internal/patch"
+	"p2pltr/internal/transport"
+	"p2pltr/internal/wal"
+)
+
+// ErrMasterUnavailable is returned when the Master-key peer (and every
+// takeover candidate) cannot be reached within the retry budget.
+var ErrMasterUnavailable = errors.New("core: master-key peer unavailable")
+
+// Replica is the local primary copy of one document at a user peer.
+//
+// It maintains the committed state (the prefix of the total order it has
+// integrated, with timestamp CommittedTS) plus a tentative operation
+// sequence — local edits not yet validated. The working view presented to
+// the user is committed state + tentative ops.
+//
+// All methods are safe for concurrent use; Commit and Pull serialize
+// against edits.
+type Replica struct {
+	peer *Peer
+	key  string // document key (e.g. "Main.WebHome")
+	site string // author site identifier
+
+	mu          sync.Mutex
+	committed   *patch.Document
+	committedTS uint64
+	tentative   []patch.Op
+	seq         uint64            // author-local patch counter
+	integrated  map[string]uint64 // patchID -> ts of every committed patch applied
+	// stats
+	behindRounds int64
+	retrieved    int64
+	// journal, when non-nil, persists snapshots across restarts (see
+	// OpenReplica in persist.go).
+	journal *wal.Log
+}
+
+// NewReplica opens the document key at peer, with site as the author
+// identity (must be unique among collaborating user peers). The document
+// starts from the empty state at timestamp 0; Pull brings it up to date
+// with any previously committed patches.
+func NewReplica(peer *Peer, key, site string) *Replica {
+	return &Replica{
+		peer:       peer,
+		key:        key,
+		site:       site,
+		committed:  patch.NewDocument(""),
+		integrated: make(map[string]uint64),
+	}
+}
+
+// Key returns the document key.
+func (r *Replica) Key() string { return r.key }
+
+// Site returns the author site identifier.
+func (r *Replica) Site() string { return r.site }
+
+// CommittedTS returns the timestamp of the last integrated patch.
+func (r *Replica) CommittedTS() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.committedTS
+}
+
+// Text returns the working view: committed state plus tentative edits.
+func (r *Replica) Text() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.workingLocked().String()
+}
+
+// CommittedText returns the committed state only.
+func (r *Replica) CommittedText() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.committed.String()
+}
+
+// Dirty reports whether there are tentative (unvalidated) edits.
+func (r *Replica) Dirty() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tentative) > 0
+}
+
+// Stats returns how many validation rounds found this replica behind and
+// how many missing patches it retrieved — the paper's Figure-5 metrics.
+func (r *Replica) Stats() (behindRounds, retrieved int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.behindRounds, r.retrieved
+}
+
+func (r *Replica) workingLocked() *patch.Document {
+	d := r.committed.Clone()
+	for _, op := range r.tentative {
+		// Tentative ops are generated against the working doc and rebased
+		// on every committed patch, so they always apply.
+		if err := d.Apply(op); err != nil {
+			panic(fmt.Sprintf("core: tentative op %v invalid on %q: %v", op, d.String(), err))
+		}
+	}
+	return d
+}
+
+// Insert appends a tentative line insertion at pos of the working view.
+func (r *Replica) Insert(pos int, line string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workingLocked()
+	if pos < 0 || pos > w.Len() {
+		return fmt.Errorf("core: insert at %d out of bounds (len %d)", pos, w.Len())
+	}
+	r.tentative = append(r.tentative, patch.Op{Kind: patch.OpInsert, Pos: pos, Line: line})
+	return nil
+}
+
+// Delete appends a tentative deletion of line pos of the working view.
+func (r *Replica) Delete(pos int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workingLocked()
+	if pos < 0 || pos >= w.Len() {
+		return fmt.Errorf("core: delete at %d out of bounds (len %d)", pos, w.Len())
+	}
+	r.tentative = append(r.tentative, patch.Op{Kind: patch.OpDelete, Pos: pos, Line: w.Line(pos)})
+	return nil
+}
+
+// SetText replaces the working view with text, recording the difference
+// as tentative edits (this models the paper's document save operation).
+func (r *Replica) SetText(text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workingLocked()
+	target := patch.NewDocument(text)
+	r.tentative = append(r.tentative, patch.Diff(w, target)...)
+}
+
+// ---------------------------------------------------------------------------
+// The three P2P-LTR procedures.
+
+// Commit runs the patch timestamp validation procedure for the current
+// tentative patch: it contacts the Master-key; when behind it retrieves
+// the missing patches in total order, integrates them (transforming the
+// tentative patch So6-style), and retries until the master validates and
+// publishes the patch. It returns the validated timestamp.
+//
+// Committing with no tentative edits degenerates to Pull.
+func (r *Replica) Commit(ctx context.Context) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.tentative) == 0 {
+		if err := r.pullLocked(ctx); err != nil {
+			return r.committedTS, err
+		}
+		return r.committedTS, nil
+	}
+
+	r.seq++
+	p := patch.Patch{
+		ID:     patch.NewPatchID(r.site, r.seq),
+		Author: r.site,
+		BaseTS: r.committedTS,
+		Ops:    append([]patch.Op(nil), r.tentative...),
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return r.committedTS, err
+		}
+		enc, err := ot.Compact(p).Encode()
+		if err != nil {
+			return r.committedTS, err
+		}
+		resp, err := r.callMaster(ctx, &msg.ValidateReq{
+			Key: r.key, TS: r.committedTS, Patch: enc, PatchID: p.ID,
+		})
+		if err != nil {
+			return r.committedTS, err
+		}
+		switch resp.Status {
+		case msg.ValidateOK:
+			// The patch is committed at resp.ValidatedTS: fold it into the
+			// committed state.
+			final := ot.Compact(p)
+			if err := r.committed.ApplyPatch(final); err != nil {
+				return r.committedTS, fmt.Errorf("core: applying own validated patch: %w", err)
+			}
+			r.committedTS = resp.ValidatedTS
+			r.integrated[p.ID] = resp.ValidatedTS
+			r.tentative = nil
+			if err := r.saveLocked(); err != nil {
+				return r.committedTS, fmt.Errorf("core: committed at ts %d but journaling failed: %w", r.committedTS, err)
+			}
+			return r.committedTS, nil
+
+		case msg.ValidateBehind:
+			r.behindRounds++
+			own, err := r.integrateMissingLocked(ctx, resp.LastTS, p.ID)
+			if err != nil {
+				return r.committedTS, err
+			}
+			if own {
+				// Our patch was already committed by a previous master
+				// incarnation (crash window): integrateMissingLocked
+				// installed the log's version and cleared the tentative.
+				if err := r.saveLocked(); err != nil {
+					return r.committedTS, fmt.Errorf("core: committed but journaling failed: %w", err)
+				}
+				return r.committedTS, nil
+			}
+			// Rebase the pending patch on the newly integrated commits.
+			p.Ops = append([]patch.Op(nil), r.tentative...)
+			p.BaseTS = r.committedTS
+
+		default:
+			return r.committedTS, fmt.Errorf("core: unexpected validate status %v", resp.Status)
+		}
+	}
+}
+
+// Pull integrates committed patches this replica has not seen, without
+// publishing anything (the retrieval procedure alone).
+func (r *Replica) Pull(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pullLocked(ctx)
+}
+
+func (r *Replica) pullLocked(ctx context.Context) error {
+	resp, err := r.lastTSFromMaster(ctx)
+	if err != nil {
+		return err
+	}
+	if resp <= r.committedTS {
+		return nil
+	}
+	if _, err := r.integrateMissingLocked(ctx, resp, ""); err != nil {
+		return err
+	}
+	return r.saveLocked()
+}
+
+// integrateMissingLocked retrieves patches (committedTS, lastTS] from the
+// P2P-Log in total order and integrates each: the committed patch applies
+// verbatim to the committed state while the tentative ops are transformed
+// against it. If one of the retrieved patches is ownID (our own patch,
+// republished by a previous master), the local tentative is superseded by
+// the log's version and ownFound is true.
+func (r *Replica) integrateMissingLocked(ctx context.Context, lastTS uint64, ownID string) (ownFound bool, err error) {
+	recs, err := r.peer.Log.FetchRange(ctx, r.key, r.committedTS, lastTS)
+	if err != nil {
+		return false, fmt.Errorf("core: retrieval for %s: %w", r.key, err)
+	}
+	for _, rec := range recs {
+		if rec.TS != r.committedTS+1 {
+			return false, fmt.Errorf("core: total order violated: got ts %d after %d", rec.TS, r.committedTS)
+		}
+		cp, err := patch.Decode(rec.Patch)
+		if err != nil {
+			return false, fmt.Errorf("core: decoding committed patch ts %d: %w", rec.TS, err)
+		}
+		if ownID != "" && rec.PatchID == ownID {
+			// Crash-window case: this is our own patch, already committed.
+			// The log's ops are authoritative; drop the local tentative.
+			if err := r.committed.ApplyPatch(cp); err != nil {
+				return false, fmt.Errorf("core: applying own committed patch: %w", err)
+			}
+			r.committedTS = rec.TS
+			r.integrated[rec.PatchID] = rec.TS
+			r.tentative = nil
+			ownFound = true
+			continue
+		}
+		// Transform the tentative ops against the committed patch (and
+		// vice versa — the committed patch applies to the committed state
+		// directly, so only the tentative side is kept).
+		r.tentative, _ = ot.TransformSeq(r.tentative, r.site, cp.Ops, cp.Author)
+		if err := r.committed.ApplyPatch(cp); err != nil {
+			return false, fmt.Errorf("core: applying committed patch ts %d: %w", rec.TS, err)
+		}
+		r.committedTS = rec.TS
+		r.integrated[rec.PatchID] = rec.TS
+		r.retrieved++
+	}
+	return ownFound, nil
+}
+
+// ---------------------------------------------------------------------------
+// Master-key communication.
+
+// callMaster locates the Master-key peer for the document (successor of
+// ht(key)) and sends req, retrying lookups while the ring reorganizes
+// (master departures, joins).
+func (r *Replica) callMaster(ctx context.Context, req *msg.ValidateReq) (*msg.ValidateResp, error) {
+	tsID := ids.HashTS(r.key)
+	var lastErr error
+	for attempt := 0; attempt < r.peer.opts.ClientAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(r.peer.opts.ClientBackoff):
+			}
+		}
+		master, _, err := r.peer.Node.FindSuccessor(ctx, tsID)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := r.peer.Node.Call(ctx, transport.Addr(master.Addr), req)
+		if err != nil {
+			lastErr = err
+			if transport.IsUnavailable(err) {
+				continue
+			}
+			var re *transport.RemoteError
+			if errors.As(err, &re) {
+				// Remote application failure (e.g. log peers unreachable
+				// from the master): retry, the ring may have healed.
+				continue
+			}
+			return nil, err
+		}
+		vr, ok := resp.(*msg.ValidateResp)
+		if !ok {
+			return nil, fmt.Errorf("core: unexpected response %T", resp)
+		}
+		if vr.Status == msg.ValidateNotMaster {
+			lastErr = fmt.Errorf("core: %s is not master for %s", master.Addr, r.key)
+			continue // responsibility is mid-transfer; re-lookup
+		}
+		return vr, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrMasterUnavailable, lastErr)
+}
+
+// lastTSFromMaster implements the client side of last_ts(key).
+func (r *Replica) lastTSFromMaster(ctx context.Context) (uint64, error) {
+	tsID := ids.HashTS(r.key)
+	var lastErr error
+	for attempt := 0; attempt < r.peer.opts.ClientAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(r.peer.opts.ClientBackoff):
+			}
+		}
+		master, _, err := r.peer.Node.FindSuccessor(ctx, tsID)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := r.peer.Node.Call(ctx, transport.Addr(master.Addr), &msg.LastTSReq{Key: r.key})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		lr, ok := resp.(*msg.LastTSResp)
+		if !ok {
+			return 0, fmt.Errorf("core: unexpected response %T", resp)
+		}
+		if lr.NotMaster {
+			lastErr = fmt.Errorf("core: %s is not master for %s", master.Addr, r.key)
+			continue
+		}
+		return lr.LastTS, nil
+	}
+	return 0, fmt.Errorf("%w: %v", ErrMasterUnavailable, lastErr)
+}

@@ -1,0 +1,307 @@
+// Package dht implements the DHT storage layer of P2P-LTR: the put/get
+// functionality the paper takes from OpenChord, exposed as a Chord
+// service plus a client that routes operations to the responsible peer.
+//
+// Storage slots are addressed by ring position. The client hashes string
+// keys itself (plain data placement); the P2P-Log computes its own replica
+// positions with the Hr family and reuses this client's routing/retry
+// machinery through PutID/GetID.
+package dht
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2pltr/internal/chord"
+	"p2pltr/internal/ids"
+	"p2pltr/internal/msg"
+	"p2pltr/internal/store"
+	"p2pltr/internal/transport"
+)
+
+// ServiceName identifies DHT state items in Chord handovers.
+const ServiceName = "dht"
+
+// Service is the storage half: it accepts DHTPut/DHTGet RPCs and
+// participates in key-range transfer.
+//
+// Every slot a peer is responsible for is additionally copied to the
+// peer's immediate successor (the paper's Log-Peers-Succ role: the
+// successor "replaces the Log-Peers in case of crashes"). The copy lives
+// in a separate replica set that is not part of key-range transfers; when
+// the owner fails, its successor — now the owner — promotes the replica
+// to primary on first access and re-replicates onward.
+type Service struct {
+	st  *store.Store // slots this peer serves (primary)
+	rep *store.Store // successor copies of the predecessor's slots
+	mu  sync.Mutex
+	rng chord.Ring // set by SetRing before the node starts
+	// noSuccCopies disables the Log-Peers-Succ mechanism (ablation A1).
+	noSuccCopies bool
+}
+
+// NewService returns an empty DHT storage service.
+func NewService() *Service {
+	return &Service{st: store.New(), rep: store.New()}
+}
+
+// SetRing wires the ring view used for successor replication. Without it
+// the service still works but slots have no successor copies.
+func (s *Service) SetRing(r chord.Ring) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rng = r
+}
+
+func (s *Service) ring() chord.Ring {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng
+}
+
+// SetSuccessorReplication toggles the Log-Peers-Succ mechanism. It exists
+// for the A1 ablation, which measures what each availability mechanism
+// contributes; production peers leave it on.
+func (s *Service) SetSuccessorReplication(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noSuccCopies = !on
+}
+
+func (s *Service) succCopiesEnabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.noSuccCopies
+}
+
+// Name implements chord.Service.
+func (s *Service) Name() string { return ServiceName }
+
+// Store exposes the underlying primary store (tests and monitoring).
+func (s *Service) Store() *store.Store { return s.st }
+
+// ReplicaStore exposes the successor-copy store (tests and monitoring).
+func (s *Service) ReplicaStore() *store.Store { return s.rep }
+
+// HandleRPC implements chord.Service.
+func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, bool, error) {
+	switch r := req.(type) {
+	case *msg.DHTPutReq:
+		var resp *msg.DHTPutResp
+		if r.IfAbsent {
+			stored, existing := s.st.PutIfAbsent(r.ID, r.Key, r.Value)
+			resp = &msg.DHTPutResp{Stored: stored, Existing: existing}
+		} else {
+			s.st.Put(r.ID, r.Key, r.Value)
+			resp = &msg.DHTPutResp{Stored: true}
+		}
+		if resp.Stored {
+			s.replicateToSucc([]msg.StateItem{{Service: ServiceName, Key: r.Key, ID: r.ID, Value: r.Value}})
+		}
+		return resp, true, nil
+	case *msg.DHTReplicaPutReq:
+		for _, it := range r.Items {
+			s.rep.Put(it.ID, it.Key, it.Value)
+		}
+		return &msg.Ack{}, true, nil
+	case *msg.DHTGetReq:
+		if v, ok := s.st.Get(r.ID); ok {
+			return &msg.DHTGetResp{Found: true, Value: v}, true, nil
+		}
+		// Takeover path: the previous owner of this slot crashed and we
+		// hold its successor copy. The lookup routed here because routing
+		// believes we are now responsible, so serve the copy; promote it
+		// to primary when ownership is confirmed locally.
+		if e, ok := s.rep.GetEntry(r.ID); ok {
+			if rng := s.ring(); rng != nil && rng.Owns(r.ID) {
+				s.st.Put(r.ID, e.Key, e.Value)
+				s.replicateToSucc([]msg.StateItem{{Service: ServiceName, Key: e.Key, ID: r.ID, Value: e.Value}})
+			}
+			return &msg.DHTGetResp{Found: true, Value: e.Value}, true, nil
+		}
+		return &msg.DHTGetResp{}, true, nil
+	}
+	return nil, false, nil
+}
+
+// replicateToSucc pushes copies of stored slots to the immediate
+// successor, asynchronously and best-effort: a missed copy is restored by
+// the P2P-Log's read repair or the next put.
+func (s *Service) replicateToSucc(items []msg.StateItem) {
+	rng := s.ring()
+	if rng == nil || len(items) == 0 || !s.succCopiesEnabled() {
+		return
+	}
+	succ := rng.Successor()
+	if succ.IsZero() || succ.ID == rng.Ref().ID {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, _ = rng.Call(ctx, transport.Addr(succ.Addr), &msg.DHTReplicaPutReq{Items: items})
+	}()
+}
+
+// Maintain implements chord.Maintainer: it periodically re-pushes every
+// primary slot to the current successor, repairing copy chains broken by
+// churn (a departed successor takes its copies with it) and promoting
+// owned replica-set entries whose primary holder vanished.
+func (s *Service) Maintain(ctx context.Context) {
+	rng := s.ring()
+	if rng == nil || !s.succCopiesEnabled() {
+		return
+	}
+	// Promote owned replica entries to primary (crash takeover without
+	// waiting for a read).
+	for _, e := range s.rep.SnapshotAll() {
+		if rng.Owns(e.ID) {
+			if _, ok := s.st.Get(e.ID); !ok {
+				s.st.Put(e.ID, e.Key, e.Value)
+			}
+			s.rep.Delete(e.ID)
+		}
+	}
+	// Refresh the successor's copy of everything we serve.
+	succ := rng.Successor()
+	if succ.IsZero() || succ.ID == rng.Ref().ID {
+		return
+	}
+	items := entriesToItems(s.st.SnapshotAll())
+	if len(items) == 0 {
+		return
+	}
+	cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	_, _ = rng.Call(cctx, transport.Addr(succ.Addr), &msg.DHTReplicaPutReq{Items: items})
+}
+
+// ExportOutside implements chord.Service. Only primary slots transfer;
+// the exporting node keeps nothing for them (the new owner re-replicates
+// to its own successor on import).
+func (s *Service) ExportOutside(newPred, self ids.ID) []msg.StateItem {
+	return entriesToItems(s.st.ExtractOutside(newPred, self))
+}
+
+// ExportAll implements chord.Service.
+func (s *Service) ExportAll() []msg.StateItem {
+	items := entriesToItems(s.st.SnapshotAll())
+	s.st.Clear()
+	return items
+}
+
+// Import implements chord.Service: installs transferred slots as primary
+// and pushes successor copies for them.
+func (s *Service) Import(items []msg.StateItem) {
+	for _, it := range items {
+		s.st.Put(it.ID, it.Key, it.Value)
+	}
+	s.replicateToSucc(items)
+}
+
+func entriesToItems(entries []store.Entry) []msg.StateItem {
+	out := make([]msg.StateItem, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, msg.StateItem{Service: ServiceName, Key: e.Key, ID: e.ID, Value: e.Value})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+
+// ErrNoOwner is returned when the responsible peer cannot be reached after
+// all retries.
+var ErrNoOwner = errors.New("dht: responsible peer unreachable")
+
+// Client routes DHT operations from any ring member. Operations retry
+// with fresh lookups when the responsible peer fails mid-call, which is
+// how P2P-LTR rides out churn.
+type Client struct {
+	ring     chord.Ring
+	attempts int
+	backoff  time.Duration
+}
+
+// NewClient returns a client bound to the local ring view. attempts
+// bounds lookup+call retries (minimum 1); backoff separates them.
+func NewClient(ring chord.Ring, attempts int, backoff time.Duration) *Client {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &Client{ring: ring, attempts: attempts, backoff: backoff}
+}
+
+// call resolves successor(id) and invokes req on it, retrying on
+// unavailability.
+func (c *Client) call(ctx context.Context, id ids.ID, req msg.Message) (msg.Message, error) {
+	var lastErr error
+	for a := 0; a < c.attempts; a++ {
+		if a > 0 && c.backoff > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(c.backoff):
+			}
+		}
+		owner, _, err := c.ring.FindSuccessor(ctx, id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.ring.Call(ctx, transport.Addr(owner.Addr), req)
+		if err != nil {
+			lastErr = err
+			if transport.IsUnavailable(err) {
+				continue
+			}
+			return nil, err
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrNoOwner, lastErr)
+}
+
+// PutID stores value at ring position id. With ifAbsent the slot is
+// write-once: stored=false reports an occupant with different content.
+func (c *Client) PutID(ctx context.Context, id ids.ID, key string, value []byte, ifAbsent bool) (stored bool, existing []byte, err error) {
+	resp, err := c.call(ctx, id, &msg.DHTPutReq{ID: id, Key: key, Value: value, IfAbsent: ifAbsent})
+	if err != nil {
+		return false, nil, err
+	}
+	pr, ok := resp.(*msg.DHTPutResp)
+	if !ok {
+		return false, nil, fmt.Errorf("dht: unexpected response %T", resp)
+	}
+	return pr.Stored, pr.Existing, nil
+}
+
+// GetID fetches the value at ring position id.
+func (c *Client) GetID(ctx context.Context, id ids.ID) ([]byte, bool, error) {
+	resp, err := c.call(ctx, id, &msg.DHTGetReq{ID: id})
+	if err != nil {
+		return nil, false, err
+	}
+	gr, ok := resp.(*msg.DHTGetResp)
+	if !ok {
+		return nil, false, fmt.Errorf("dht: unexpected response %T", resp)
+	}
+	return gr.Value, gr.Found, nil
+}
+
+// Put stores value under the data hash of key.
+func (c *Client) Put(ctx context.Context, key string, value []byte) error {
+	_, _, err := c.PutID(ctx, ids.HashString(key), key, value, false)
+	return err
+}
+
+// Get fetches the value stored under key.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	return c.GetID(ctx, ids.HashString(key))
+}
+
+// Ring returns the ring view the client routes through.
+func (c *Client) Ring() chord.Ring { return c.ring }

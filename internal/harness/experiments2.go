@@ -1,0 +1,502 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pltr/internal/baseline"
+	"p2pltr/internal/core"
+	"p2pltr/internal/ids"
+	"p2pltr/internal/metrics"
+	"p2pltr/internal/p2plog"
+	"p2pltr/internal/ringtest"
+	"p2pltr/internal/transport"
+	"p2pltr/internal/workload"
+)
+
+// RunE5 measures the DHT substrate's response times: lookup hop count and
+// latency versus network size — the O(log N) shape every Chord-based
+// claim in the paper rests on.
+func RunE5(cfg Config) error {
+	sizes := []int{4, 8, 16, 32, 64}
+	if cfg.Quick {
+		sizes = []int{4, 8, 16}
+	}
+	const probes = 48
+	tbl := metrics.NewTable("peers", "lookups", "mean-hops", "hops p95", "latency p50", "latency p95")
+	for _, n := range sizes {
+		c, err := ringtest.NewCluster(n, ringtest.FastOptions(), simLatency(cfg.Seed))
+		if err != nil {
+			return err
+		}
+		// Let fix-fingers populate routing tables.
+		time.Sleep(200 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		lat := metrics.NewHistogram()
+		var hopsTotal int
+		hopSamples := make([]int, 0, probes)
+		for i := 0; i < probes; i++ {
+			hops, d, err := lookupProbe(ctx, c, rng.Intn(n), ids.ID(rng.Uint64()))
+			if err != nil {
+				cancel()
+				c.Stop()
+				return fmt.Errorf("E5 (N=%d): %w", n, err)
+			}
+			hopsTotal += hops
+			hopSamples = append(hopSamples, hops)
+			lat.Observe(d)
+		}
+		p95hops := percentileInt(hopSamples, 0.95)
+		tbl.AddRow(n, probes, float64(hopsTotal)/float64(probes), p95hops, lat.Quantile(0.5), lat.Quantile(0.95))
+		cancel()
+		c.Stop()
+	}
+	fmt.Fprint(cfg.Out, tbl.String())
+	fmt.Fprintln(cfg.Out, "shape check: mean hops grows ~log2(N), latency follows hops x one-way delay")
+	return nil
+}
+
+func percentileInt(xs []int, q float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// RunE6 quantifies the P2P-Log's high-availability claim: retrieval
+// success of committed patches as a function of the replication factor
+// n = |Hr| and the number of crashed Log-Peers.
+func RunE6(cfg Config) error {
+	replicaSweep := []int{1, 2, 3, 5}
+	crashSweep := []int{0, 1, 2}
+	if cfg.Quick {
+		replicaSweep = []int{1, 3}
+		crashSweep = []int{0, 2}
+	}
+	const peers = 10
+	const records = 40
+	tbl := metrics.NewTable("replicas(n)", "crashed", "records", "retrievable", "availability%")
+	for _, n := range replicaSweep {
+		for _, crashes := range crashSweep {
+			opts := ringtest.FastOptions()
+			opts.LogReplicas = n
+			c, err := ringtest.NewCluster(peers, opts)
+			if err != nil {
+				return err
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			log := c.Peers[0].Log
+			for i := 0; i < records; i++ {
+				rec := p2plog.Record{
+					Key: fmt.Sprintf("doc-%d", i%8), TS: uint64(i/8 + 1),
+					PatchID: fmt.Sprintf("u#%d", i), Patch: []byte("payload"),
+				}
+				if _, err := log.Publish(ctx, rec); err != nil {
+					cancel()
+					c.Stop()
+					return fmt.Errorf("E6 publish: %w", err)
+				}
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(n*10+crashes)))
+			perm := rng.Perm(len(c.Peers))
+			for i := 0; i < crashes; i++ {
+				c.Crash(c.Peers[perm[i]])
+			}
+			if err := c.WaitStable(time.Minute); err != nil {
+				cancel()
+				c.Stop()
+				return err
+			}
+			reader := c.Live()[0].Log
+			reader.SetReadRepair(false) // measure the bare replication factor
+			ok := 0
+			for i := 0; i < records; i++ {
+				key, ts := fmt.Sprintf("doc-%d", i%8), uint64(i/8+1)
+				if found, _ := reader.Exists(ctx, key, ts); found {
+					ok++
+				}
+			}
+			tbl.AddRow(n, crashes, records, ok, 100*float64(ok)/float64(records))
+			cancel()
+			c.Stop()
+		}
+	}
+	fmt.Fprint(cfg.Out, tbl.String())
+	fmt.Fprintln(cfg.Out, "shape check: availability rises with n; n=1 loses records as soon as a Log-Peer crashes, n>=3 rides out 2 crashes")
+	return nil
+}
+
+// RunE7 compares P2P-LTR against the baselines on the same contested-
+// document workload: a centralized reconciler (the bottleneck/SPOF the
+// paper's introduction criticizes), a last-writer-wins register (loses
+// updates) and an RGA CRDT (no coordination, but no total order and
+// tombstone growth).
+func RunE7(cfg Config) error {
+	writers := 6
+	commits := 4
+	if cfg.Quick {
+		writers, commits = 3, 3
+	}
+	tbl := metrics.NewTable("system", "writers", "updates", "wall-time", "update p50", "converged", "updates-lost", "notes")
+
+	// --- P2P-LTR over an 8-peer ring.
+	{
+		c, err := ringtest.NewCluster(8, ringtest.FastOptions(), simLatency(cfg.Seed))
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		replicas := make([]*core.Replica, writers)
+		for i := range replicas {
+			replicas[i] = core.NewReplica(c.Peers[i%len(c.Peers)], "doc", fmt.Sprintf("s%02d", i))
+		}
+		hist := metrics.NewHistogram()
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, writers)
+		for _, r := range replicas {
+			wg.Add(1)
+			go func(r *core.Replica) {
+				defer wg.Done()
+				for k := 0; k < commits; k++ {
+					_ = r.Insert(0, fmt.Sprintf("%s-%d", r.Site(), k))
+					t0 := time.Now()
+					if _, err := r.Commit(ctx); err != nil {
+						errCh <- err
+						return
+					}
+					hist.Observe(time.Since(t0))
+				}
+			}(r)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			cancel()
+			c.Stop()
+			return fmt.Errorf("E7 p2p-ltr: %w", err)
+		default:
+		}
+		wall := time.Since(start)
+		for _, r := range replicas {
+			if err := r.Pull(ctx); err != nil {
+				cancel()
+				c.Stop()
+				return err
+			}
+		}
+		converged := true
+		for _, r := range replicas[1:] {
+			if r.Text() != replicas[0].Text() {
+				converged = false
+			}
+		}
+		tbl.AddRow("P2P-LTR", writers, writers*commits, wall, hist.Quantile(0.5), converged, 0, "no SPOF; survives master crash (E3)")
+		cancel()
+		c.Stop()
+	}
+
+	// --- Centralized reconciler over the same latency model.
+	{
+		net := transport.NewSimnet(simLatency(cfg.Seed + 1))
+		srv := baseline.NewCentralServer(net.NewEndpoint("central"))
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		replicas := make([]*baseline.CentralReplica, writers)
+		for i := range replicas {
+			replicas[i] = baseline.NewCentralReplica(net.NewEndpoint(fmt.Sprintf("c%d", i)), srv.Addr(), "doc", fmt.Sprintf("s%02d", i))
+		}
+		hist := metrics.NewHistogram()
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, writers)
+		for _, r := range replicas {
+			wg.Add(1)
+			go func(r *baseline.CentralReplica) {
+				defer wg.Done()
+				for k := 0; k < commits; k++ {
+					r.Insert(0, fmt.Sprintf("x-%d", k))
+					t0 := time.Now()
+					if _, err := r.Commit(ctx); err != nil {
+						errCh <- err
+						return
+					}
+					hist.Observe(time.Since(t0))
+				}
+			}(r)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			cancel()
+			return fmt.Errorf("E7 central: %w", err)
+		default:
+		}
+		wall := time.Since(start)
+		for _, r := range replicas {
+			if err := r.Pull(ctx); err != nil {
+				cancel()
+				return err
+			}
+		}
+		converged := true
+		for _, r := range replicas[1:] {
+			if r.Text() != replicas[0].Text() {
+				converged = false
+			}
+		}
+		tbl.AddRow("central", writers, writers*commits, wall, hist.Quantile(0.5), converged, 0, "single reconciler: SPOF, hotspot")
+		cancel()
+	}
+
+	// --- LWW register (merge-based, in process).
+	{
+		regs := make([]*baseline.LWWRegister, writers)
+		for i := range regs {
+			regs[i] = baseline.NewLWWRegister(fmt.Sprintf("s%02d", i))
+		}
+		start := time.Now()
+		for k := 0; k < commits; k++ {
+			for i, r := range regs {
+				r.Set(fmt.Sprintf("s%02d round %d", i, k))
+			}
+		}
+		lost := 0
+		// All-pairs anti-entropy until converged.
+		for round := 0; round < writers; round++ {
+			for i := range regs {
+				for j := range regs {
+					if i != j {
+						if regs[i].Merge(regs[j]) {
+							lost++ // a local version was discarded
+						}
+					}
+				}
+			}
+		}
+		wall := time.Since(start)
+		converged := true
+		for _, r := range regs[1:] {
+			if r.Get() != regs[0].Get() {
+				converged = false
+			}
+		}
+		// All concurrent final writes but the winner are lost.
+		tbl.AddRow("LWW", writers, writers*commits, wall, time.Duration(0), converged, writers*commits-1, "converges by discarding updates")
+	}
+
+	// --- RGA CRDT (op-based, in process).
+	{
+		regs := make([]*baseline.RGA, writers)
+		for i := range regs {
+			regs[i] = baseline.NewRGA(fmt.Sprintf("s%02d", i))
+		}
+		start := time.Now()
+		for k := 0; k < commits; k++ {
+			for i, r := range regs {
+				if _, err := r.Insert(0, fmt.Sprintf("s%02d-%d", i, k)); err != nil {
+					return err
+				}
+			}
+		}
+		for round := 0; round < 2; round++ {
+			for i := range regs {
+				for j := range regs {
+					if i != j {
+						regs[i].Merge(regs[j])
+					}
+				}
+			}
+		}
+		wall := time.Since(start)
+		converged := true
+		for _, r := range regs[1:] {
+			if r.Text() != regs[0].Text() {
+				converged = false
+			}
+		}
+		tbl.AddRow("RGA-CRDT", writers, writers*commits, wall, time.Duration(0), converged, 0,
+			fmt.Sprintf("no total order; %d tombstones retained", regs[0].Tombstones()))
+	}
+
+	fmt.Fprint(cfg.Out, tbl.String())
+	fmt.Fprintln(cfg.Out, "shape check: central matches P2P-LTR latency at small scale but is a SPOF (see baseline tests); LWW converges while losing all-but-one concurrent update; CRDT avoids coordination but gives up total order")
+	return nil
+}
+
+// RunE8 is the conclusion's claim as a soak test: concurrent editing
+// under randomized churn (joins, graceful leaves, crashes) must still
+// reach eventual consistency — all replicas byte-identical at quiescence.
+func RunE8(cfg Config) error {
+	editors := 4
+	rounds := 6
+	churnEvents := 6
+	if cfg.Quick {
+		editors, rounds, churnEvents = 3, 4, 3
+	}
+	c, err := ringtest.NewCluster(10, ringtest.FastOptions())
+	if err != nil {
+		return err
+	}
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	key := "churn-doc"
+	// Editors live on the first peers; churn only touches the rest, so
+	// editor state survives (a crashed editor's local replica is
+	// legitimately gone — the paper's consistency claim is about the
+	// remaining peers).
+	replicas := make([]*core.Replica, editors)
+	for i := range replicas {
+		replicas[i] = core.NewReplica(c.Peers[i], key, fmt.Sprintf("s%d", i))
+	}
+	churnable := func() []*core.Peer {
+		var out []*core.Peer
+		for _, p := range c.Live()[editors:] {
+			out = append(out, p)
+		}
+		return out
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 8))
+	sched := workload.ChurnSchedule(time.Duration(churnEvents)*time.Second, time.Second, 1, 1, 1, cfg.Seed)
+	applied := map[string]int{"join": 0, "leave": 0, "crash": 0}
+
+	var mu sync.Mutex
+	var workErr error
+	var wg sync.WaitGroup
+	for i, r := range replicas {
+		wg.Add(1)
+		go func(i int, r *core.Replica) {
+			defer wg.Done()
+			ed := workload.NewEditor(r.Site(), 0, cfg.Seed+int64(i))
+			for k := 0; k < rounds; k++ {
+				lines := 0
+				if t := r.Text(); t != "" {
+					lines = len(splitCount(t))
+				}
+				ed.SetLength(lines)
+				e := ed.Next()
+				var err error
+				if e.Kind == workload.EditInsert {
+					err = r.Insert(min(e.Pos, lines), e.Line)
+				} else if lines > 0 {
+					err = r.Delete(e.Pos % lines)
+				}
+				if err != nil {
+					continue // edit raced a pull; skip
+				}
+				if _, err := r.Commit(ctx); err != nil {
+					mu.Lock()
+					workErr = fmt.Errorf("editor %s: %w", r.Site(), err)
+					mu.Unlock()
+					return
+				}
+				// Pace the rounds so editing genuinely overlaps the churn
+				// (the paper's scenario is dynamicity DURING updates); the
+				// retrievals this causes also read-repair the P2P-Log.
+				time.Sleep(120 * time.Millisecond)
+			}
+		}(i, r)
+	}
+	// Apply churn concurrently with the editing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, ev := range sched {
+			time.Sleep(200 * time.Millisecond) // compressed schedule
+			switch ev.Kind {
+			case workload.ChurnJoin:
+				if _, err := c.AddPeer(c.Peers[0]); err == nil {
+					applied["join"]++
+				}
+			case workload.ChurnLeave:
+				if cands := churnable(); len(cands) > 3 {
+					if err := c.Leave(cands[rng.Intn(len(cands))]); err == nil {
+						applied["leave"]++
+					}
+				}
+			case workload.ChurnCrash:
+				if cands := churnable(); len(cands) > 3 {
+					c.Crash(cands[rng.Intn(len(cands))])
+					applied["crash"]++
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if workErr != nil {
+		return fmt.Errorf("E8: %w", workErr)
+	}
+	if err := c.WaitStable(time.Minute); err != nil {
+		return err
+	}
+	// Repair sweep: walk the whole committed log once from a live peer so
+	// read repair restores any replicas lost to the final crashes before
+	// the editors pull.
+	sweepTS := replicas[0].CommittedTS()
+	for _, r := range replicas[1:] {
+		if ts := r.CommittedTS(); ts > sweepTS {
+			sweepTS = ts
+		}
+	}
+	if _, err := c.Live()[0].Log.FetchRange(ctx, key, 0, sweepTS); err != nil {
+		return fmt.Errorf("E8 repair sweep: %w", err)
+	}
+	for _, r := range replicas {
+		if err := r.Pull(ctx); err != nil {
+			return fmt.Errorf("E8 final pull: %w", err)
+		}
+	}
+	converged := true
+	for _, r := range replicas[1:] {
+		if r.Text() != replicas[0].Text() || r.CommittedTS() != replicas[0].CommittedTS() {
+			converged = false
+		}
+	}
+	tbl := metrics.NewTable("editors", "commits", "joins", "leaves", "crashes", "final-ts", "converged")
+	tbl.AddRow(editors, editors*rounds, applied["join"], applied["leave"], applied["crash"],
+		replicas[0].CommittedTS(), converged)
+	fmt.Fprint(cfg.Out, tbl.String())
+	if !converged {
+		return fmt.Errorf("E8: replicas diverged under churn")
+	}
+	fmt.Fprintln(cfg.Out, "shape check: eventual consistency holds despite joins, leaves and crashes (paper's conclusion)")
+	return nil
+}
+
+func splitCount(s string) []int {
+	var idx []int
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			idx = append(idx, start)
+			start = i + 1
+		}
+	}
+	return append(idx, start)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

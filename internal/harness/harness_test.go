@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Out: &bytes.Buffer{}, Seed: 1, Quick: true}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 9 {
+		t.Fatalf("have %d experiments, want 9", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" || e.Paper == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Lookup("E3"); !ok {
+		t.Fatalf("lookup E3 failed")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatalf("lookup E99 succeeded")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	err := Run("E99", quickCfg())
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Each experiment runs end-to-end in quick mode and emits a table.
+func TestE1(t *testing.T) { runExperiment(t, "E1", "masters-used") }
+func TestE2(t *testing.T) { runExperiment(t, "E2", "behind-rounds") }
+func TestE3(t *testing.T) { runExperiment(t, "E3", "takeover") }
+func TestE4(t *testing.T) { runExperiment(t, "E4", "masters-moved") }
+func TestE5(t *testing.T) { runExperiment(t, "E5", "mean-hops") }
+func TestE6(t *testing.T) { runExperiment(t, "E6", "availability%") }
+func TestE7(t *testing.T) { runExperiment(t, "E7", "P2P-LTR") }
+
+// TestE8EventualConsistencyUnderChurn is the headline soak (DESIGN.md E8).
+func TestE8EventualConsistencyUnderChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	runExperiment(t, "E8", "converged")
+}
+
+func runExperiment(t *testing.T, id, wantOutput string) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Seed: 1, Quick: true}
+	if err := Run(id, cfg); err != nil {
+		t.Fatalf("%s: %v\noutput so far:\n%s", id, err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, wantOutput) {
+		t.Fatalf("%s output missing %q:\n%s", id, wantOutput, out)
+	}
+	if !strings.Contains(out, "shape check") {
+		t.Fatalf("%s output missing shape check note:\n%s", id, out)
+	}
+}
+
+func TestA1Ablation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep")
+	}
+	runExperiment(t, "A1", "availability%")
+}

@@ -1,0 +1,105 @@
+// Package ids implements the identifier space of the P2P-LTR ring.
+//
+// Peers and keys are mapped onto a 64-bit circular identifier space using
+// SHA-1 (the paper references FIPS 180-1 for consistent hashing); an ID is
+// the big-endian value of the first 8 bytes of the digest. All ring
+// arithmetic is modulo 2^64.
+//
+// The package also provides the two hash-function families the paper
+// requires:
+//
+//   - ht, the timestamp hash function used to locate the Master-key peer of
+//     a document key (HashTS);
+//   - Hr = {h1..hn}, the pairwise-independent replication hash functions
+//     used to place timestamped patches at Log-Peers (ReplicaHash).
+//
+// Pairwise independence is obtained by namespacing the SHA-1 input with the
+// function index, which is how replicated DHT schemes such as the one in
+// "Data Currency in Replicated DHTs" (Akbarinia et al., SIGMOD 2007)
+// instantiate their hash families in practice.
+package ids
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+)
+
+// Bits is the width of the identifier space. Chord finger tables have one
+// entry per bit.
+const Bits = 64
+
+// ID is a point on the identifier circle [0, 2^64).
+type ID uint64
+
+// Hash maps an arbitrary byte string to an ID.
+func Hash(b []byte) ID {
+	sum := sha1.Sum(b)
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// HashString maps a string key to an ID.
+func HashString(s string) ID { return Hash([]byte(s)) }
+
+// HashTS is ht from the paper: it locates the Master-key peer responsible
+// for timestamping a document key. It is deliberately distinct from the
+// plain data hash so that timestamp responsibility and data placement are
+// independent.
+func HashTS(key string) ID { return Hash([]byte("p2pltr/ts\x00" + key)) }
+
+// ReplicaHash is hi from the replication family Hr. Index i must be in
+// [0, n); each index yields an independent placement for (key, ts).
+// It implements the paper's hi(key+ts).
+func ReplicaHash(i int, key string, ts uint64) ID {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], ts)
+	return Hash([]byte("p2pltr/log\x00" + strconv.Itoa(i) + "\x00" + key + "\x00" + string(buf[:])))
+}
+
+// String renders the ID as fixed-width hexadecimal.
+func (x ID) String() string { return fmt.Sprintf("%016x", uint64(x)) }
+
+// Between reports whether x lies on the arc (a, b) exclusive, walking
+// clockwise from a. If a == b the arc covers the whole circle except a.
+func Between(x, a, b ID) bool {
+	if a < b {
+		return a < x && x < b
+	}
+	// Arc wraps through zero (or a == b, the full circle minus a).
+	return x > a || x < b
+}
+
+// BetweenRightIncl reports whether x lies on the arc (a, b] clockwise from
+// a. This is Chord's successor-responsibility test: key k is owned by node
+// n iff k ∈ (predecessor(n), n].
+func BetweenRightIncl(x, a, b ID) bool {
+	if x == b {
+		return true
+	}
+	return Between(x, a, b)
+}
+
+// Distance is the clockwise distance from a to b.
+func Distance(a, b ID) uint64 { return uint64(b - a) }
+
+// Add returns the ID at clockwise offset d from x.
+func Add(x ID, d uint64) ID { return ID(uint64(x) + d) }
+
+// PowerOfTwoOffset returns x + 2^i (mod 2^64), the start of the i-th Chord
+// finger interval. i must be in [0, Bits).
+func PowerOfTwoOffset(x ID, i int) ID {
+	if i < 0 || i >= Bits {
+		panic("ids: finger index out of range: " + strconv.Itoa(i))
+	}
+	return ID(uint64(x) + uint64(1)<<uint(i))
+}
+
+// Parse converts the output of String back into an ID.
+func Parse(s string) (ID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ids: parse %q: %w", s, err)
+	}
+	return ID(v), nil
+}

@@ -1,0 +1,216 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a := HashString("doc:home")
+	b := HashString("doc:home")
+	if a != b {
+		t.Fatalf("Hash not deterministic: %v vs %v", a, b)
+	}
+	if HashString("doc:home") == HashString("doc:away") {
+		t.Fatalf("distinct keys collided (astronomically unlikely)")
+	}
+}
+
+func TestHashTSIndependentOfDataHash(t *testing.T) {
+	key := "Main.WebHome"
+	if HashTS(key) == HashString(key) {
+		t.Fatalf("ht(key) must differ from data hash for key %q", key)
+	}
+}
+
+func TestReplicaHashFamilyIndependence(t *testing.T) {
+	key, ts := "Main.WebHome", uint64(7)
+	seen := map[ID]int{}
+	for i := 0; i < 8; i++ {
+		id := ReplicaHash(i, key, ts)
+		if j, dup := seen[id]; dup {
+			t.Fatalf("h%d and h%d collided on (%q,%d)", i, j, key, ts)
+		}
+		seen[id] = i
+	}
+	// Same function index must be deterministic.
+	if ReplicaHash(2, key, ts) != ReplicaHash(2, key, ts) {
+		t.Fatalf("ReplicaHash not deterministic")
+	}
+	// Different timestamps must map elsewhere.
+	if ReplicaHash(0, key, 1) == ReplicaHash(0, key, 2) {
+		t.Fatalf("ReplicaHash ignored ts")
+	}
+}
+
+func TestBetweenSimpleArc(t *testing.T) {
+	cases := []struct {
+		x, a, b ID
+		want    bool
+	}{
+		{5, 1, 10, true},
+		{1, 1, 10, false},  // exclusive left
+		{10, 1, 10, false}, // exclusive right
+		{0, 1, 10, false},
+		{11, 1, 10, false},
+	}
+	for _, c := range cases {
+		if got := Between(c.x, c.a, c.b); got != c.want {
+			t.Errorf("Between(%d,%d,%d) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBetweenWrappedArc(t *testing.T) {
+	const max = ID(^uint64(0))
+	cases := []struct {
+		x, a, b ID
+		want    bool
+	}{
+		{max, max - 10, 10, true},
+		{5, max - 10, 10, true},
+		{max - 10, max - 10, 10, false},
+		{10, max - 10, 10, false},
+		{100, max - 10, 10, false},
+	}
+	for _, c := range cases {
+		if got := Between(c.x, c.a, c.b); got != c.want {
+			t.Errorf("Between(%v,%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBetweenFullCircleWhenEqual(t *testing.T) {
+	// a == b denotes the whole circle except a itself: a single-node ring
+	// owns every key.
+	if !Between(42, 7, 7) {
+		t.Fatalf("Between(42,7,7) should be true (full circle)")
+	}
+	if Between(7, 7, 7) {
+		t.Fatalf("Between(7,7,7) should be false (endpoint excluded)")
+	}
+}
+
+func TestBetweenRightIncl(t *testing.T) {
+	if !BetweenRightIncl(10, 1, 10) {
+		t.Fatalf("right endpoint must be included")
+	}
+	if BetweenRightIncl(1, 1, 10) {
+		t.Fatalf("left endpoint must be excluded")
+	}
+	if !BetweenRightIncl(7, 7, 7) {
+		t.Fatalf("single-node ring owns its own ID")
+	}
+}
+
+func TestPowerOfTwoOffset(t *testing.T) {
+	if got := PowerOfTwoOffset(0, 0); got != 1 {
+		t.Fatalf("offset 2^0 from 0 = %v, want 1", got)
+	}
+	if got := PowerOfTwoOffset(0, 63); got != ID(1)<<63 {
+		t.Fatalf("offset 2^63 from 0 = %v", got)
+	}
+	// Wraparound.
+	if got := PowerOfTwoOffset(ID(^uint64(0)), 0); got != 0 {
+		t.Fatalf("max+1 should wrap to 0, got %v", got)
+	}
+}
+
+func TestPowerOfTwoOffsetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for index 64")
+		}
+	}()
+	PowerOfTwoOffset(0, Bits)
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, id := range []ID{0, 1, 42, ID(^uint64(0)), HashString("x")} {
+		got, err := Parse(id.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Fatalf("round trip %v -> %v", id, got)
+		}
+	}
+	if _, err := Parse("zzz"); err == nil {
+		t.Fatalf("Parse should reject non-hex input")
+	}
+}
+
+// Property: exactly one of x∈(a,b), x∈(b,a), x==a, x==b holds for any
+// triple — the circle is partitioned.
+func TestBetweenPartitionProperty(t *testing.T) {
+	f := func(x, a, b uint64) bool {
+		X, A, B := ID(x), ID(a), ID(b)
+		if A == B {
+			return true // degenerate arcs tested separately
+		}
+		n := 0
+		if Between(X, A, B) {
+			n++
+		}
+		if Between(X, B, A) {
+			n++
+		}
+		if X == A {
+			n++
+		}
+		if X == B {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Distance(a,b) + Distance(b,a) == 0 (mod 2^64) for a != b, and
+// Add(a, Distance(a,b)) == b.
+func TestDistanceAddProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		A, B := ID(a), ID(b)
+		if Add(A, Distance(A, B)) != B {
+			return false
+		}
+		if A != B && Distance(A, B)+Distance(B, A) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BetweenRightIncl(k, pred, self) partitions key ownership — for
+// any two distinct node IDs, a key belongs to exactly one of the two arcs.
+func TestOwnershipPartitionProperty(t *testing.T) {
+	f := func(k, n1, n2 uint64) bool {
+		K, N1, N2 := ID(k), ID(n1), ID(n2)
+		if N1 == N2 {
+			return true
+		}
+		in1 := BetweenRightIncl(K, N2, N1)
+		in2 := BetweenRightIncl(K, N1, N2)
+		return in1 != in2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = HashString("Main.WebHome")
+	}
+}
+
+func BenchmarkReplicaHash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ReplicaHash(i%4, "Main.WebHome", uint64(i))
+	}
+}

@@ -1,0 +1,388 @@
+// Package kts implements P2P-LTR's distributed timestamp service, based
+// on the Key-based Timestamp Service of "Data Currency in Replicated
+// DHTs" (Akbarinia et al., SIGMOD 2007) as adapted by the paper.
+//
+// For each document key k, the peer responsible for ht(k) on the ring is
+// the Master-key peer. It provides the paper's three operations:
+//
+//   - gen_ts(key): generate the next timestamp, with monotonicity AND the
+//     continuous-timestamping property (consecutive timestamps differ by
+//     exactly one);
+//   - last_ts(key): return the last generated timestamp;
+//   - sendToPublish(key, last-ts, patch): replicate the timestamped patch
+//     at the Log-Peers via the Hr hash family, and replicate last-ts at
+//     the Master-key-Succ peer.
+//
+// Validation protocol (per the paper): a user peer holding local
+// timestamp ts asks the master to publish its tentative patch. If the
+// master's last-ts equals ts, the master generates ts+1, publishes the
+// patch in the P2P-Log, replicates last-ts at its successor, and acks
+// with the validated timestamp. If last-ts > ts, the user must first
+// retrieve the missing patches in total order and retry. The master
+// serves each user sequentially per key: a new timestamp is only granted
+// after the previous patch's replication completed.
+//
+// Failover: the Master-key-Succ holds a replica of last-ts and takes over
+// when the master departs (the Owns check flips as Chord stabilizes).
+// After a crash that loses even the successor replica, the master
+// re-synchronizes last-ts from the write-once P2P-Log itself, which is
+// the authoritative record of granted timestamps.
+package kts
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"p2pltr/internal/chord"
+	"p2pltr/internal/ids"
+	"p2pltr/internal/msg"
+	"p2pltr/internal/p2plog"
+	"p2pltr/internal/transport"
+)
+
+// ServiceName identifies KTS state items in Chord handovers.
+const ServiceName = "kts"
+
+// ErrAheadOfLog is returned when a client claims a local timestamp higher
+// than anything recorded in the P2P-Log — state corruption on the client.
+var ErrAheadOfLog = errors.New("kts: client timestamp ahead of the log")
+
+// entry is the per-key timestamp state. An entry exists on the master
+// (authoritative) and on its successor (replica); the Owns check decides
+// which role the local node currently plays.
+type entry struct {
+	mu     sync.Mutex
+	lastTS uint64
+}
+
+// Service is the timestamp service mounted on a Chord node.
+type Service struct {
+	ring chord.Ring
+	log  *p2plog.Log
+
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	// stats for the experiments
+	statsMu   sync.Mutex
+	grants    int64
+	rejects   int64
+	takeovers int64
+}
+
+// NewService creates a timestamp service. log is used for sendToPublish
+// and for last-ts recovery.
+func NewService(ring chord.Ring, log *p2plog.Log) *Service {
+	return &Service{ring: ring, log: log, entries: make(map[string]*entry)}
+}
+
+// Name implements chord.Service.
+func (s *Service) Name() string { return ServiceName }
+
+// entryFor returns (creating if needed) the state for key.
+func (s *Service) entryFor(key string) *entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &entry{}
+		s.entries[key] = e
+	}
+	return e
+}
+
+// HandleRPC implements chord.Service.
+func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, bool, error) {
+	switch r := req.(type) {
+	case *msg.ValidateReq:
+		resp, err := s.handleValidate(ctx, r)
+		return resp, true, err
+	case *msg.LastTSReq:
+		return s.handleLastTS(r), true, nil
+	case *msg.ReplicateTSReq:
+		s.handleReplicate(r)
+		return &msg.Ack{}, true, nil
+	}
+	return nil, false, nil
+}
+
+// handleValidate is the patch timestamp validation procedure.
+func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.Message, error) {
+	tsID := ids.HashTS(r.Key)
+	if !s.ring.Owns(tsID) {
+		return &msg.ValidateResp{Status: msg.ValidateNotMaster}, nil
+	}
+	e := s.entryFor(r.Key)
+	// The paper: "the corresponding Master-key serves each user peer
+	// sequentially" — the per-key mutex is that serialization.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if r.TS > e.lastTS {
+		// The client knows more than we do: we lost state (e.g. both the
+		// master and its successor were replaced). Recover from the log,
+		// the authoritative write-once record.
+		if err := s.recoverFromLog(ctx, r.Key, e, r.TS); err != nil {
+			return nil, err
+		}
+	}
+	if r.TS < e.lastTS {
+		s.bumpRejects()
+		return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: e.lastTS}, nil
+	}
+
+	// gen_ts: continuous timestamping.
+	newTS := e.lastTS + 1
+
+	// sendToPublish: replicate the patch at the Log-Peers first. The log
+	// is the commit point; last-ts replicas are recoverable from it.
+	res, err := s.log.Publish(ctx, p2plog.Record{
+		Key: r.Key, TS: newTS, PatchID: r.PatchID, Patch: r.Patch,
+	})
+	if err != nil {
+		if errors.Is(err, p2plog.ErrConflict) {
+			// A previous master incarnation already published this
+			// timestamp with a different patch. Converge on the log:
+			// fast-forward and tell the caller to retrieve.
+			e.lastTS = newTS
+			s.replicateToSucc(ctx, r.Key, tsID, e.lastTS)
+			s.bumpRejects()
+			return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: e.lastTS}, nil
+		}
+		return nil, fmt.Errorf("kts: publish (%s,%d): %w", r.Key, newTS, err)
+	}
+	_ = res
+
+	// Replicate last-ts at the Master-key-Succ, then commit locally and
+	// acknowledge the user with the validated timestamp.
+	e.lastTS = newTS
+	s.replicateToSucc(ctx, r.Key, tsID, newTS)
+	s.bumpGrants()
+	return &msg.ValidateResp{Status: msg.ValidateOK, ValidatedTS: newTS, LastTS: newTS}, nil
+}
+
+// recoverFromLog advances e.lastTS as far as the log proves timestamps
+// were granted, at least to target. Called with e.mu held.
+func (s *Service) recoverFromLog(ctx context.Context, key string, e *entry, target uint64) error {
+	for e.lastTS < target {
+		ok, err := s.log.Exists(ctx, key, e.lastTS+1)
+		if err != nil {
+			return fmt.Errorf("kts: recovering last-ts for %s: %w", key, err)
+		}
+		if !ok {
+			return fmt.Errorf("%w: key %s, claimed ts %d, log ends at %d",
+				ErrAheadOfLog, key, target, e.lastTS)
+		}
+		e.lastTS++
+	}
+	// Opportunistically roll forward past target too, in case more
+	// patches were committed by the previous incarnation.
+	for {
+		ok, err := s.log.Exists(ctx, key, e.lastTS+1)
+		if err != nil || !ok {
+			return nil
+		}
+		e.lastTS++
+	}
+}
+
+// handleLastTS implements last_ts(key).
+func (s *Service) handleLastTS(r *msg.LastTSReq) *msg.LastTSResp {
+	tsID := ids.HashTS(r.Key)
+	if !s.ring.Owns(tsID) {
+		return &msg.LastTSResp{NotMaster: true}
+	}
+	s.mu.Lock()
+	e, ok := s.entries[r.Key]
+	s.mu.Unlock()
+	if !ok {
+		return &msg.LastTSResp{LastTS: 0, Known: false}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &msg.LastTSResp{LastTS: e.lastTS, Known: true}
+}
+
+// handleReplicate installs a last-ts replica pushed by the current
+// master. Values only move forward, so stale or reordered replications
+// are harmless.
+func (s *Service) handleReplicate(r *msg.ReplicateTSReq) {
+	e := s.entryFor(r.Key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r.LastTS > e.lastTS {
+		e.lastTS = r.LastTS
+	}
+}
+
+// replicateToSucc pushes last-ts to the Master-key-Succ. Failure is
+// tolerated: the write-once log allows full recovery, and the next grant
+// retries the replication anyway.
+func (s *Service) replicateToSucc(ctx context.Context, key string, tsID ids.ID, lastTS uint64) {
+	succ := s.ring.Successor()
+	if succ.IsZero() || succ.ID == s.ring.Ref().ID {
+		return
+	}
+	_, _ = s.ring.Call(ctx, transport.Addr(succ.Addr), &msg.ReplicateTSReq{
+		Key: key, TSID: tsID, LastTS: lastTS,
+	})
+}
+
+// Maintain implements chord.Maintainer: it periodically re-replicates the
+// last-ts of every key this node masters to the *current* Master-key-Succ,
+// repairing replica chains broken by churn (the successor at grant time
+// may have departed since).
+func (s *Service) Maintain(ctx context.Context) {
+	succ := s.ring.Successor()
+	self := s.ring.Ref()
+	if succ.IsZero() || succ.ID == self.ID {
+		return
+	}
+	s.mu.Lock()
+	type kv struct {
+		key  string
+		tsID ids.ID
+	}
+	var owned []kv
+	for key := range s.entries {
+		tsID := ids.HashTS(key)
+		if s.ring.Owns(tsID) {
+			owned = append(owned, kv{key, tsID})
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range owned {
+		last, ok := s.LastTSLocal(e.key)
+		if !ok {
+			continue
+		}
+		_, _ = s.ring.Call(ctx, transport.Addr(succ.Addr), &msg.ReplicateTSReq{
+			Key: e.key, TSID: e.tsID, LastTS: last,
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// State transfer (join/leave): "the old responsible transfers its keys
+// and timestamps to the new Master-key".
+
+// ExportOutside implements chord.Service. The entries whose ht position
+// falls outside (newPred, self] now belong to the joining predecessor.
+// This node keeps a copy: it is the new master's Master-key-Succ, and
+// replicas only ever move forward, so retaining is safe and preserves
+// availability.
+func (s *Service) ExportOutside(newPred, self ids.ID) []msg.StateItem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var items []msg.StateItem
+	for key, e := range s.entries {
+		tsID := ids.HashTS(key)
+		if ids.BetweenRightIncl(tsID, newPred, self) {
+			continue
+		}
+		e.mu.Lock()
+		last := e.lastTS
+		e.mu.Unlock()
+		items = append(items, stateItem(key, tsID, last))
+	}
+	return items
+}
+
+// ExportAll implements chord.Service (voluntary leave: push everything to
+// the successor, which becomes the master).
+func (s *Service) ExportAll() []msg.StateItem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	items := make([]msg.StateItem, 0, len(s.entries))
+	for key, e := range s.entries {
+		e.mu.Lock()
+		last := e.lastTS
+		e.mu.Unlock()
+		items = append(items, stateItem(key, ids.HashTS(key), last))
+	}
+	return items
+}
+
+// Import implements chord.Service: installs transferred timestamps,
+// merging monotonically with any replica already present.
+func (s *Service) Import(items []msg.StateItem) {
+	for _, it := range items {
+		last, err := strconv.ParseUint(string(it.Value), 10, 64)
+		if err != nil {
+			continue // malformed item; the log can still recover it
+		}
+		e := s.entryFor(it.Key)
+		e.mu.Lock()
+		if last > e.lastTS {
+			e.lastTS = last
+		}
+		e.mu.Unlock()
+	}
+	s.statsMu.Lock()
+	s.takeovers++
+	s.statsMu.Unlock()
+}
+
+func stateItem(key string, tsID ids.ID, lastTS uint64) msg.StateItem {
+	return msg.StateItem{
+		Service: ServiceName,
+		Key:     key,
+		ID:      tsID,
+		Value:   []byte(strconv.FormatUint(lastTS, 10)),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introspection for experiments and the demo binary.
+
+// LastTSLocal returns the locally known last-ts for key (primary or
+// replica) without any ownership check.
+func (s *Service) LastTSLocal(key string) (uint64, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastTS, true
+}
+
+// KeysHeld returns the document keys this node holds timestamp state for
+// and whether it is currently their master.
+func (s *Service) KeysHeld() map[string]bool {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	out := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		out[k] = s.ring.Owns(ids.HashTS(k))
+	}
+	return out
+}
+
+// Stats returns cumulative grant/reject/takeover counters.
+func (s *Service) Stats() (grants, rejects, takeovers int64) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.grants, s.rejects, s.takeovers
+}
+
+func (s *Service) bumpGrants() {
+	s.statsMu.Lock()
+	s.grants++
+	s.statsMu.Unlock()
+}
+
+func (s *Service) bumpRejects() {
+	s.statsMu.Lock()
+	s.rejects++
+	s.statsMu.Unlock()
+}

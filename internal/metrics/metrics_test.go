@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Quantile(0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max %v %v", h.Min(), h.Max())
+	}
+	if h.Mean() != 50500*time.Microsecond {
+		t.Fatalf("mean %v", h.Mean())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram not zero")
+	}
+	if !strings.Contains(h.Summary(), "n=0") {
+		t.Fatalf("summary %q", h.Summary())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5 * time.Millisecond)
+	if h.Quantile(-1) != 5*time.Millisecond || h.Quantile(2) != 5*time.Millisecond {
+		t.Fatalf("out-of-range quantiles")
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	h := NewHistogram()
+	h.Time(func() { time.Sleep(2 * time.Millisecond) })
+	if h.Count() != 1 || h.Max() < 2*time.Millisecond {
+		t.Fatalf("timed sample %v", h.Max())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.Observe(time.Duration(i))
+				_ = h.Quantile(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 800 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+// Property: the q-quantile is >= the fraction q of samples.
+func TestQuantileOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Observe(time.Duration(v))
+		}
+		p50, p95 := h.Quantile(0.5), h.Quantile(0.95)
+		if p50 > p95 {
+			return false
+		}
+		return h.Min() <= p50 && p95 <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 1000 {
+		t.Fatalf("counter %d", c.Value())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("name", "value", "latency")
+	tbl.AddRow("short", 42, 1500*time.Microsecond)
+	tbl.AddRow("a-much-longer-name", 3.14159, 2*time.Second)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines: %d\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("header/separator:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float formatting:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5ms") {
+		t.Fatalf("duration formatting:\n%s", out)
+	}
+	// Columns align: the header and first row start each column at the
+	// same offset.
+	if len(lines[0]) == 0 || len(lines[2]) == 0 {
+		t.Fatalf("empty lines")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Summary()
+	for _, part := range []string{"n=10", "mean=", "p50=", "p95=", "p99=", "max="} {
+		if !strings.Contains(s, part) {
+			t.Fatalf("summary %q missing %s", s, part)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package msg defines the wire messages exchanged by P2P-LTR peers.
+//
+// Every RPC in the system — Chord maintenance, DHT storage, the KTS
+// timestamp service, and the P2P-Log — is a request/response pair of
+// concrete types from this package. Concrete types (rather than ad-hoc
+// maps) keep the protocol auditable and let the TCP transport encode
+// everything with encoding/gob.
+//
+// Messages must be treated as immutable once sent: the in-process simnet
+// transport passes them by reference.
+package msg
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"p2pltr/internal/ids"
+)
+
+// Message is implemented by every request and response type. The Kind
+// method exists to force explicit registration and to aid tracing.
+type Message interface {
+	Kind() string
+}
+
+// NodeRef identifies a peer: its ring identifier and transport address.
+type NodeRef struct {
+	ID   ids.ID
+	Addr string
+}
+
+// IsZero reports whether the reference is unset.
+func (n NodeRef) IsZero() bool { return n.Addr == "" }
+
+func (n NodeRef) String() string {
+	if n.IsZero() {
+		return "<nil-node>"
+	}
+	return fmt.Sprintf("%s@%s", n.ID, n.Addr)
+}
+
+// ---------------------------------------------------------------------------
+// Chord maintenance RPCs.
+
+// FindSuccessorReq asks a node to locate successor(Key). Hops counts the
+// routing steps accumulated so far (used by experiment E5).
+type FindSuccessorReq struct {
+	Key  ids.ID
+	Hops int
+}
+
+// FindSuccessorResp carries either the final responsible node
+// (Final=true) or the next routing hop (Final=false), plus the hop count.
+type FindSuccessorResp struct {
+	Node  NodeRef
+	Hops  int
+	Final bool
+}
+
+// NeighborsReq asks a node for its predecessor and successor list; it is
+// the probe used by stabilization.
+type NeighborsReq struct{}
+
+// NeighborsResp returns the node's current view of the ring around itself.
+type NeighborsResp struct {
+	Self  NodeRef
+	Pred  NodeRef // zero if unknown
+	Succs []NodeRef
+}
+
+// NotifyReq tells a node that Candidate might be its predecessor.
+type NotifyReq struct {
+	Candidate NodeRef
+}
+
+// PingReq checks liveness.
+type PingReq struct{}
+
+// Ack is the generic empty success response.
+type Ack struct{}
+
+// HandoverReq is sent by a joining node to its successor: the successor
+// must export all service state in (PredID, NewNode.ID] to the new node.
+type HandoverReq struct {
+	NewNode NodeRef
+}
+
+// HandoverResp carries the exported state items, grouped by service.
+type HandoverResp struct {
+	Items []StateItem
+}
+
+// AbsorbReq is sent by a node leaving voluntarily: it pushes all of its
+// service state to its successor before departing.
+type AbsorbReq struct {
+	Leaving NodeRef
+	Items   []StateItem
+}
+
+// StateTransferReq migrates service state between live nodes when key
+// responsibility moves during stabilization (a node discovered a new
+// predecessor that now owns part of its range).
+type StateTransferReq struct {
+	From  NodeRef
+	Items []StateItem
+}
+
+// StateItem is one unit of transferable service state. Service names the
+// owning service ("dht", "kts", "log"); Key and ID locate the item on the
+// ring; Value is the service-specific encoding.
+type StateItem struct {
+	Service string
+	Key     string
+	ID      ids.ID
+	Value   []byte
+}
+
+// ---------------------------------------------------------------------------
+// DHT storage service RPCs.
+
+// DHTPutReq stores Value under ring position ID (already hashed by the
+// caller). Key is kept for debugging and state transfer.
+type DHTPutReq struct {
+	ID    ids.ID
+	Key   string
+	Value []byte
+	// IfAbsent makes the put first-write-wins: the slot is immutable once
+	// written. The P2P-Log relies on this to make (key, ts) slots
+	// write-once.
+	IfAbsent bool
+}
+
+// DHTPutResp reports whether the value was stored. When IfAbsent was set
+// and the slot was already occupied by different content, Stored is false
+// and Existing carries the occupant.
+type DHTPutResp struct {
+	Stored   bool
+	Existing []byte
+}
+
+// DHTReplicaPutReq is pushed by the peer responsible for a slot to its
+// successor, which stores the copy in its replica set. This implements
+// the paper's Log-Peers-Succ role: the successor "replaces the Log-Peers
+// in case of crashes".
+type DHTReplicaPutReq struct {
+	Items []StateItem
+}
+
+// DHTGetReq fetches the value at ring position ID.
+type DHTGetReq struct {
+	ID ids.ID
+}
+
+// DHTGetResp returns the value if present.
+type DHTGetResp struct {
+	Found bool
+	Value []byte
+}
+
+// ---------------------------------------------------------------------------
+// KTS timestamp service RPCs (gen_ts / last_ts / validate-and-publish).
+
+// ValidateStatus enumerates the outcomes of a patch timestamp validation.
+type ValidateStatus uint8
+
+const (
+	// ValidateOK: the patch was timestamped and published; ValidatedTS is
+	// its continuous timestamp.
+	ValidateOK ValidateStatus = iota
+	// ValidateBehind: the caller is missing patches; it must retrieve
+	// (CallerTS, LastTS] from the P2P-Log, reconcile, and retry.
+	ValidateBehind
+	// ValidateNotMaster: the callee is not (or no longer) the Master-key
+	// peer for the key; the caller must re-run lookup.
+	ValidateNotMaster
+)
+
+func (s ValidateStatus) String() string {
+	switch s {
+	case ValidateOK:
+		return "ok"
+	case ValidateBehind:
+		return "behind"
+	case ValidateNotMaster:
+		return "not-master"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// ValidateReq implements the paper's put(ht(key), patch+ts): user peer u
+// asks the Master-key of Key to validate its tentative patch. TS is the
+// timestamp of the last patch u has integrated (its local ts); the new
+// patch, if accepted, receives TS+1.
+type ValidateReq struct {
+	Key   string
+	TS    uint64
+	Patch []byte
+	// PatchID uniquely identifies the tentative patch (author + sequence)
+	// so the master can recognize a crash-window republish of the same
+	// patch.
+	PatchID string
+}
+
+// ValidateResp is the master's decision.
+type ValidateResp struct {
+	Status      ValidateStatus
+	ValidatedTS uint64 // set when Status == ValidateOK
+	LastTS      uint64 // master's last-ts, always set when master
+}
+
+// LastTSReq implements last_ts(key).
+type LastTSReq struct {
+	Key string
+}
+
+// LastTSResp returns the last timestamp generated for the key. Known is
+// false when the callee has no entry (ts 0 = no patches yet).
+type LastTSResp struct {
+	LastTS uint64
+	Known  bool
+	// NotMaster mirrors ValidateNotMaster for this RPC.
+	NotMaster bool
+}
+
+// ReplicateTSReq is sent by the Master-key to its Master-Succ after each
+// grant so that the successor can take over with a correct last-ts.
+type ReplicateTSReq struct {
+	Key    string
+	TSID   ids.ID // ht(Key), the ring position governing responsibility
+	LastTS uint64
+}
+
+// The P2P-Log needs no dedicated RPCs: its write-once replica slots are
+// DHTPutReq{IfAbsent: true} / DHTGetReq at the positions given by the Hr
+// hash family (see internal/p2plog).
+
+// ---------------------------------------------------------------------------
+// Kind implementations and gob registration.
+
+func (FindSuccessorReq) Kind() string  { return "chord.find_successor.req" }
+func (FindSuccessorResp) Kind() string { return "chord.find_successor.resp" }
+func (NeighborsReq) Kind() string      { return "chord.neighbors.req" }
+func (NeighborsResp) Kind() string     { return "chord.neighbors.resp" }
+func (NotifyReq) Kind() string         { return "chord.notify.req" }
+func (PingReq) Kind() string           { return "chord.ping.req" }
+func (Ack) Kind() string               { return "ack" }
+func (HandoverReq) Kind() string       { return "chord.handover.req" }
+func (HandoverResp) Kind() string      { return "chord.handover.resp" }
+func (AbsorbReq) Kind() string         { return "chord.absorb.req" }
+func (StateTransferReq) Kind() string  { return "chord.state_transfer.req" }
+func (DHTPutReq) Kind() string         { return "dht.put.req" }
+func (DHTPutResp) Kind() string        { return "dht.put.resp" }
+func (DHTReplicaPutReq) Kind() string  { return "dht.replica_put.req" }
+func (DHTGetReq) Kind() string         { return "dht.get.req" }
+func (DHTGetResp) Kind() string        { return "dht.get.resp" }
+func (ValidateReq) Kind() string       { return "kts.validate.req" }
+func (ValidateResp) Kind() string      { return "kts.validate.resp" }
+func (LastTSReq) Kind() string         { return "kts.last_ts.req" }
+func (LastTSResp) Kind() string        { return "kts.last_ts.resp" }
+func (ReplicateTSReq) Kind() string    { return "kts.replicate.req" }
+
+// Register registers every message type with encoding/gob. The TCP
+// transport calls it once; calling it multiple times is harmless.
+func Register() {
+	for _, m := range All() {
+		gob.Register(m)
+	}
+}
+
+// All returns one zero value of every message type; used by Register and
+// by protocol round-trip tests.
+func All() []Message {
+	return []Message{
+		&FindSuccessorReq{}, &FindSuccessorResp{},
+		&NeighborsReq{}, &NeighborsResp{},
+		&NotifyReq{}, &PingReq{}, &Ack{},
+		&HandoverReq{}, &HandoverResp{}, &AbsorbReq{}, &StateTransferReq{},
+		&DHTPutReq{}, &DHTPutResp{}, &DHTReplicaPutReq{}, &DHTGetReq{}, &DHTGetResp{},
+		&ValidateReq{}, &ValidateResp{},
+		&LastTSReq{}, &LastTSResp{}, &ReplicateTSReq{},
+	}
+}

@@ -1,0 +1,98 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+func TestNodeRef(t *testing.T) {
+	var zero NodeRef
+	if !zero.IsZero() {
+		t.Fatalf("zero ref not zero")
+	}
+	if zero.String() != "<nil-node>" {
+		t.Fatalf("zero string %q", zero.String())
+	}
+	ref := NodeRef{ID: 0xAB, Addr: "host:1"}
+	if ref.IsZero() {
+		t.Fatalf("non-zero ref reported zero")
+	}
+	if !strings.Contains(ref.String(), "host:1") {
+		t.Fatalf("string %q", ref.String())
+	}
+}
+
+func TestKindsAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range All() {
+		k := m.Kind()
+		if k == "" {
+			t.Fatalf("%T has empty kind", m)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate kind %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGobRoundTripAllTypes(t *testing.T) {
+	Register()
+	for _, m := range All() {
+		var buf bytes.Buffer
+		// Encode through the Message interface, as the TCP transport does.
+		env := struct{ Body Message }{Body: m}
+		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		var out struct{ Body Message }
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if out.Body.Kind() != m.Kind() {
+			t.Fatalf("round trip changed kind: %s -> %s", m.Kind(), out.Body.Kind())
+		}
+	}
+}
+
+func TestGobPreservesFields(t *testing.T) {
+	Register()
+	in := &ValidateReq{Key: "doc", TS: 42, Patch: []byte{1, 2, 3}, PatchID: "a#7"}
+	var buf bytes.Buffer
+	env := struct{ Body Message }{Body: in}
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	var out struct{ Body Message }
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.Body.(*ValidateReq)
+	if !ok {
+		t.Fatalf("type lost: %T", out.Body)
+	}
+	if got.Key != in.Key || got.TS != in.TS || got.PatchID != in.PatchID || !bytes.Equal(got.Patch, in.Patch) {
+		t.Fatalf("fields lost: %+v", got)
+	}
+}
+
+func TestValidateStatusString(t *testing.T) {
+	cases := map[ValidateStatus]string{
+		ValidateOK:        "ok",
+		ValidateBehind:    "behind",
+		ValidateNotMaster: "not-master",
+		ValidateStatus(9): "status(9)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("%d -> %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	Register()
+	Register() // must not panic
+}

@@ -1,0 +1,283 @@
+// Package p2plog implements the paper's P2P-Log: the highly available,
+// DHT-resident log of timestamped patches.
+//
+// A validated patch on document key k with timestamp ts is replicated at n
+// Log-Peers, the peers responsible for the positions h1(k,ts) … hn(k,ts)
+// of the pairwise-independent replication hash family Hr (the paper's
+// sendToPublish: Put(h1(key+ts),Patch) … Put(hn(key+ts),Patch)).
+//
+// Log slots are write-once. Retrieval walks timestamps in increasing
+// order, falling back across the n replicas of each slot, so readers
+// always observe the committed patch sequence in total order — the
+// property P2P-LTR's eventual consistency rests on.
+package p2plog
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"p2pltr/internal/dht"
+	"p2pltr/internal/ids"
+)
+
+// DefaultReplicas is the size of Hr used when none is configured.
+const DefaultReplicas = 3
+
+// ErrConflict reports that a slot already holds a different patch: a
+// previous Master-key incarnation published this timestamp. The caller
+// (the KTS) treats the existing patch as the committed one.
+var ErrConflict = errors.New("p2plog: slot already holds a different patch")
+
+// ErrMissing reports that no replica of a slot could be found; with live
+// Log-Peers this means the timestamp was never published.
+var ErrMissing = errors.New("p2plog: patch not found at any replica")
+
+// Record is one committed log entry.
+type Record struct {
+	Key     string
+	TS      uint64
+	PatchID string
+	Patch   []byte
+}
+
+// Log reads and writes the P2P-Log through a DHT client.
+type Log struct {
+	c          *dht.Client
+	replicas   int
+	readRepair bool
+	prefetch   int
+}
+
+// New returns a log view with the given replication factor n = |Hr|
+// (DefaultReplicas if n <= 0). Read repair is enabled by default: a fetch
+// that finds the record at some replica re-publishes it to replicas that
+// are missing it, restoring the replication degree after Log-Peer crashes
+// and re-homing slots onto the peers that currently own their positions.
+func New(c *dht.Client, replicas int) *Log {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Log{c: c, replicas: replicas, readRepair: true, prefetch: defaultPrefetch}
+}
+
+// SetReadRepair toggles fetch-time re-replication (used by the E6
+// availability ablation to measure the bare replication factor).
+func (l *Log) SetReadRepair(on bool) { l.readRepair = on }
+
+// Replicas returns the replication factor n.
+func (l *Log) Replicas() int { return l.replicas }
+
+// encodeRecord produces the canonical slot content. Gob encoding of the
+// same record is deterministic, which makes idempotent republish compare
+// equal byte-wise.
+func encodeRecord(r Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("p2plog: encode record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	var r Record
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return Record{}, fmt.Errorf("p2plog: decode record: %w", err)
+	}
+	return r, nil
+}
+
+// PublishResult describes the outcome of one Publish.
+type PublishResult struct {
+	// StoredReplicas counts slots this call wrote or found identical.
+	StoredReplicas int
+	// Conflict, when non-nil, is the differing record found occupying at
+	// least one slot.
+	Conflict *Record
+}
+
+// Publish implements sendToPublish for one (key, ts): it writes the patch
+// to all n replica slots. At least one replica must accept for the publish
+// to count; a slot occupied by a different patch aborts with ErrConflict
+// and returns the occupant so the master can converge on it.
+func (l *Log) Publish(ctx context.Context, rec Record) (PublishResult, error) {
+	enc, err := encodeRecord(rec)
+	if err != nil {
+		return PublishResult{}, err
+	}
+	var res PublishResult
+	var lastErr error
+	for i := 0; i < l.replicas; i++ {
+		slot := ids.ReplicaHash(i, rec.Key, rec.TS)
+		stored, existing, err := l.c.PutID(ctx, slot, logSlotKey(rec.Key, rec.TS, i), enc, true)
+		if err != nil {
+			lastErr = err
+			continue // unavailable Log-Peer; other replicas provide availability
+		}
+		if stored {
+			res.StoredReplicas++
+			continue
+		}
+		occupant, derr := decodeRecord(existing)
+		if derr != nil {
+			lastErr = derr
+			continue
+		}
+		if occupant.PatchID == rec.PatchID {
+			res.StoredReplicas++ // same patch, counted as replicated
+			continue
+		}
+		res.Conflict = &occupant
+		return res, fmt.Errorf("%w: slot %d of (%s,%d) holds patch %s", ErrConflict, i, rec.Key, rec.TS, occupant.PatchID)
+	}
+	if res.StoredReplicas == 0 {
+		return res, fmt.Errorf("p2plog: publish (%s,%d): no replica reachable: %w", rec.Key, rec.TS, lastErr)
+	}
+	return res, nil
+}
+
+// Fetch retrieves the committed patch at (key, ts). Without read repair
+// it returns at the first replica found (minimum cost); with read repair
+// it probes every replica slot and restores the ones observed missing
+// from the found copy, so the replication degree heals on the read path.
+func (l *Log) Fetch(ctx context.Context, key string, ts uint64) (Record, error) {
+	var (
+		lastErr error
+		missing []int
+		rec     Record
+		enc     []byte
+		have    bool
+	)
+	for i := 0; i < l.replicas; i++ {
+		slot := ids.ReplicaHash(i, key, ts)
+		if have && !l.readRepair {
+			break
+		}
+		if have && l.readRepair {
+			// Only probing for holes to repair from here on.
+			if _, found, err := l.c.GetID(ctx, slot); err == nil && !found {
+				missing = append(missing, i)
+			}
+			continue
+		}
+		v, found, err := l.c.GetID(ctx, slot)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !found {
+			missing = append(missing, i)
+			continue
+		}
+		r, err := decodeRecord(v)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rec, enc, have = r, v, true
+		if !l.readRepair {
+			break
+		}
+	}
+	if !have {
+		if lastErr != nil {
+			return Record{}, fmt.Errorf("%w (key=%s ts=%d): %v", ErrMissing, key, ts, lastErr)
+		}
+		return Record{}, fmt.Errorf("%w (key=%s ts=%d)", ErrMissing, key, ts)
+	}
+	if l.readRepair && len(missing) > 0 {
+		l.repair(ctx, rec, enc, missing)
+	}
+	return rec, nil
+}
+
+// repair best-effort re-publishes an encoded record to the replica slots
+// that were observed empty.
+func (l *Log) repair(ctx context.Context, rec Record, enc []byte, missing []int) {
+	for _, i := range missing {
+		slot := ids.ReplicaHash(i, rec.Key, rec.TS)
+		_, _, _ = l.c.PutID(ctx, slot, logSlotKey(rec.Key, rec.TS, i), enc, true)
+	}
+}
+
+// Exists reports whether any replica of (key, ts) holds a patch. The KTS
+// uses it to re-synchronize its last-ts from the log after a total
+// failover loss.
+func (l *Log) Exists(ctx context.Context, key string, ts uint64) (bool, error) {
+	_, err := l.Fetch(ctx, key, ts)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, ErrMissing) {
+		return false, nil
+	}
+	return false, err
+}
+
+// defaultPrefetch is the retrieval window: how many consecutive
+// timestamps FetchRange resolves concurrently. The output order is
+// always the total timestamp order regardless of the window.
+const defaultPrefetch = 8
+
+// SetPrefetch sets the FetchRange concurrency window (values < 1 mean
+// serial retrieval).
+func (l *Log) SetPrefetch(w int) {
+	if w < 1 {
+		w = 1
+	}
+	l.prefetch = w
+}
+
+// FetchRange implements the paper's retrieval procedure: it returns the
+// committed patches with timestamps in (from, to], strictly in increasing
+// timestamp order. Any missing intermediate timestamp aborts with
+// ErrMissing — total order means no holes may be skipped; the records
+// before the first hole are returned.
+//
+// Slots for consecutive timestamps live at independent ring positions
+// (the Hr family hashes ts), so they are fetched concurrently in windows
+// and reassembled in order — retrieval latency is ~ceil(k/window) round
+// trips for k missing patches rather than k.
+func (l *Log) FetchRange(ctx context.Context, key string, from, to uint64) ([]Record, error) {
+	if to < from {
+		return nil, fmt.Errorf("p2plog: bad range (%d,%d]", from, to)
+	}
+	out := make([]Record, 0, to-from)
+	window := l.prefetch
+	if window < 1 {
+		window = 1
+	}
+	for base := from + 1; base <= to; base += uint64(window) {
+		end := base + uint64(window) - 1
+		if end > to {
+			end = to
+		}
+		n := int(end - base + 1)
+		recs := make([]Record, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				recs[i], errs[i] = l.Fetch(ctx, key, base+uint64(i))
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				return out, fmt.Errorf("retrieving ts %d of %s: %w", base+uint64(i), key, errs[i])
+			}
+			out = append(out, recs[i])
+		}
+	}
+	return out, nil
+}
+
+// logSlotKey is the debug name stored alongside a slot.
+func logSlotKey(key string, ts uint64, replica int) string {
+	return fmt.Sprintf("log/%s/%d/r%d", key, ts, replica)
+}

@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LatencyModel decides the one-way delay of each simulated message.
+// Implementations must be safe for concurrent use.
+type LatencyModel interface {
+	Delay(from, to Addr) time.Duration
+}
+
+// ConstantLatency delays every message by the same amount. Zero is valid
+// and makes the network instantaneous (useful in unit tests).
+type ConstantLatency time.Duration
+
+// Delay implements LatencyModel.
+func (c ConstantLatency) Delay(from, to Addr) time.Duration { return time.Duration(c) }
+
+// UniformLatency draws delays uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewUniformLatency returns a uniform model seeded deterministically so
+// experiments are reproducible.
+func NewUniformLatency(min, max time.Duration, seed int64) *UniformLatency {
+	if max < min {
+		min, max = max, min
+	}
+	return &UniformLatency{Min: min, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay implements LatencyModel.
+func (u *UniformLatency) Delay(from, to Addr) time.Duration {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	span := int64(u.Max - u.Min)
+	if span <= 0 {
+		return u.Min
+	}
+	return u.Min + time.Duration(u.rng.Int63n(span+1))
+}
+
+// LogNormalLatency models heavy-tailed WAN delays: most messages arrive
+// around Median, a few take much longer. Sigma controls the tail weight
+// (0.5 is a reasonable internet-like value).
+type LogNormalLatency struct {
+	Median time.Duration
+	Sigma  float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewLogNormalLatency returns a deterministic heavy-tailed model.
+func NewLogNormalLatency(median time.Duration, sigma float64, seed int64) *LogNormalLatency {
+	return &LogNormalLatency{Median: median, Sigma: sigma, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay implements LatencyModel.
+func (l *LogNormalLatency) Delay(from, to Addr) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f := math.Exp(l.rng.NormFloat64() * l.Sigma)
+	d := time.Duration(float64(l.Median) * f)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

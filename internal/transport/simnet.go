@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pltr/internal/msg"
+)
+
+// Simnet is an in-process simulated network. It delivers messages between
+// endpoints registered on it, applying a LatencyModel on each hop and,
+// optionally, message loss, pairwise partitions, and peer crashes.
+//
+// Determinism: given the same seed, the same latency model, and the same
+// call interleaving, drop decisions are reproducible.
+type Simnet struct {
+	latency LatencyModel
+
+	mu        sync.RWMutex
+	endpoints map[Addr]*simEndpoint
+	dropProb  float64
+	rng       *rand.Rand
+	crashed   map[Addr]bool
+	// partition maps group labels; two endpoints can talk iff they share a
+	// group. nil means no partition is active.
+	partition map[Addr]int
+	seq       int
+
+	// Stats
+	sent    int64
+	dropped int64
+}
+
+// SimnetOption configures a Simnet.
+type SimnetOption func(*Simnet)
+
+// WithLatency sets the latency model (default: instantaneous).
+func WithLatency(m LatencyModel) SimnetOption {
+	return func(n *Simnet) { n.latency = m }
+}
+
+// WithDropProb makes each one-way message be lost with probability p.
+// A lost request or response surfaces to the caller as ErrTimeout.
+func WithDropProb(p float64, seed int64) SimnetOption {
+	return func(n *Simnet) {
+		n.dropProb = p
+		n.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// NewSimnet creates an empty simulated network.
+func NewSimnet(opts ...SimnetOption) *Simnet {
+	n := &Simnet{
+		latency:   ConstantLatency(0),
+		endpoints: make(map[Addr]*simEndpoint),
+		crashed:   make(map[Addr]bool),
+		rng:       rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// NewEndpoint attaches a new endpoint with the given name. Names must be
+// unique; an empty name is assigned automatically.
+func (n *Simnet) NewEndpoint(name string) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if name == "" {
+		n.seq++
+		name = "sim-" + itoa(n.seq)
+	}
+	if _, dup := n.endpoints[Addr(name)]; dup {
+		panic("simnet: duplicate endpoint name " + name)
+	}
+	ep := &simEndpoint{net: n, addr: Addr(name)}
+	n.endpoints[ep.addr] = ep
+	return ep
+}
+
+// Crash makes the peer at addr unreachable and unable to call out, without
+// running any shutdown logic — it models a fail-stop crash.
+func (n *Simnet) Crash(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[addr] = true
+}
+
+// Restart clears the crashed state of addr (the endpoint keeps its
+// handler; P2P-LTR peers additionally rejoin the ring explicitly).
+func (n *Simnet) Restart(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, addr)
+}
+
+// Crashed reports whether addr is currently crashed.
+func (n *Simnet) Crashed(addr Addr) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.crashed[addr]
+}
+
+// Partition splits the network into groups: endpoints in different groups
+// cannot exchange messages. Endpoints not mentioned join group 0.
+func (n *Simnet) Partition(groups ...[]Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[Addr]int)
+	for g, addrs := range groups {
+		for _, a := range addrs {
+			n.partition[a] = g + 1
+		}
+	}
+}
+
+// Heal removes any active partition.
+func (n *Simnet) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = nil
+}
+
+// SetDropProb changes the message-loss probability at runtime.
+func (n *Simnet) SetDropProb(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropProb = p
+}
+
+// Stats returns the number of messages sent and dropped so far.
+func (n *Simnet) Stats() (sent, dropped int64) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.sent, n.dropped
+}
+
+// reachable reports whether a message may travel from -> to right now.
+func (n *Simnet) reachable(from, to Addr) bool {
+	if n.crashed[from] || n.crashed[to] {
+		return false
+	}
+	if n.partition != nil {
+		gf, gt := n.partition[from], n.partition[to]
+		if gf != gt {
+			return false
+		}
+	}
+	return true
+}
+
+// deliver performs one round trip: latency out, handler, latency back.
+func (n *Simnet) deliver(ctx context.Context, from, to Addr, req msg.Message) (msg.Message, error) {
+	n.mu.Lock()
+	n.sent++
+	target, ok := n.endpoints[to]
+	if !ok || !n.reachable(from, to) {
+		n.mu.Unlock()
+		return nil, ErrUnreachable
+	}
+	drop := n.dropProb > 0 && n.rng.Float64() < n.dropProb
+	dropBack := n.dropProb > 0 && n.rng.Float64() < n.dropProb
+	if drop || dropBack {
+		n.dropped++
+	}
+	n.mu.Unlock()
+
+	if err := sleepCtx(ctx, n.latency.Delay(from, to)); err != nil {
+		return nil, err
+	}
+	if drop {
+		// The request was lost: the caller waits out its deadline.
+		<-ctx.Done()
+		return nil, ErrTimeout
+	}
+
+	// Re-check reachability at delivery time (crash may have happened
+	// while the message was in flight).
+	n.mu.RLock()
+	alive := n.reachable(from, to)
+	h := target.handler()
+	n.mu.RUnlock()
+	if !alive {
+		return nil, ErrUnreachable
+	}
+	if h == nil {
+		return nil, ErrNoHandler
+	}
+
+	resp, err := h(ctx, from, req)
+
+	if err2 := sleepCtx(ctx, n.latency.Delay(to, from)); err2 != nil {
+		return nil, err2
+	}
+	if dropBack {
+		<-ctx.Done()
+		return nil, ErrTimeout
+	}
+	// A crash of the callee after the handler ran but before the response
+	// arrives back is equivalent to a response loss.
+	n.mu.RLock()
+	aliveBack := n.reachable(from, to)
+	n.mu.RUnlock()
+	if !aliveBack {
+		return nil, ErrUnreachable
+	}
+	if err != nil {
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+// simEndpoint implements Endpoint over a Simnet.
+type simEndpoint struct {
+	net  *Simnet
+	addr Addr
+
+	mu     sync.RWMutex
+	h      Handler
+	closed bool
+}
+
+func (e *simEndpoint) Addr() Addr { return e.addr }
+
+func (e *simEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.h = h
+}
+
+func (e *simEndpoint) handler() Handler {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil
+	}
+	return e.h
+}
+
+func (e *simEndpoint) Call(ctx context.Context, to Addr, req msg.Message) (msg.Message, error) {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if e.net.Crashed(e.addr) {
+		return nil, ErrClosed
+	}
+	return e.net.deliver(ctx, e.addr, to, req)
+}
+
+func (e *simEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.addr)
+	e.net.mu.Unlock()
+	return nil
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

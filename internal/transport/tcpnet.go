@@ -1,0 +1,287 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"p2pltr/internal/msg"
+)
+
+func init() { msg.Register() }
+
+// envelope is the on-wire frame of the TCP transport. Payload is an
+// interface encoded by gob, which is why msg.Register exists.
+type envelope struct {
+	Seq    uint64
+	IsResp bool
+	From   string
+	ErrMsg string
+	HasErr bool
+	Body   msg.Message
+}
+
+// TCPEndpoint is a real-network Endpoint. Each endpoint listens on its own
+// address; outbound calls use persistent connections with multiplexed
+// request/response matching, so many concurrent RPCs share one socket.
+type TCPEndpoint struct {
+	ln   net.Listener
+	addr Addr
+
+	mu      sync.RWMutex
+	h       Handler
+	conns   map[Addr]*tcpConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	nextSeq atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// ListenTCP starts an endpoint on bind ("127.0.0.1:0" picks a free port).
+func ListenTCP(bind string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", bind, err)
+	}
+	e := &TCPEndpoint{
+		ln:      ln,
+		addr:    Addr(ln.Addr().String()),
+		conns:   make(map[Addr]*tcpConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr implements Endpoint.
+func (e *TCPEndpoint) Addr() Addr { return e.addr }
+
+// SetHandler implements Endpoint.
+func (e *TCPEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.h = h
+}
+
+func (e *TCPEndpoint) handler() Handler {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.h
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.serveConn(c)
+		}()
+	}
+}
+
+// serveConn handles the server side of one inbound connection.
+func (e *TCPEndpoint) serveConn(c net.Conn) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		c.Close()
+		return
+	}
+	e.inbound[c] = struct{}{}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inbound, c)
+		e.mu.Unlock()
+		c.Close()
+	}()
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	var wmu sync.Mutex
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return // peer hung up or stream corrupt
+		}
+		go func(env envelope) {
+			h := e.handler()
+			resp := envelope{Seq: env.Seq, IsResp: true, From: string(e.addr)}
+			if h == nil {
+				resp.HasErr, resp.ErrMsg = true, ErrNoHandler.Error()
+			} else {
+				m, err := h(context.Background(), Addr(env.From), env.Body)
+				if err != nil {
+					resp.HasErr, resp.ErrMsg = true, err.Error()
+				} else {
+					resp.Body = m
+				}
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = enc.Encode(&resp)
+		}(env)
+	}
+}
+
+// tcpConn is a pooled outbound connection with in-flight call matching.
+type tcpConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+
+	mu      sync.Mutex // guards enc and pending
+	pending map[uint64]chan envelope
+	dead    bool
+}
+
+func (tc *tcpConn) fail() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.dead {
+		return
+	}
+	tc.dead = true
+	tc.c.Close()
+	for seq, ch := range tc.pending {
+		close(ch)
+		delete(tc.pending, seq)
+	}
+}
+
+// readLoop demultiplexes responses to their waiting callers.
+func (tc *tcpConn) readLoop() {
+	dec := gob.NewDecoder(tc.c)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			tc.fail()
+			return
+		}
+		tc.mu.Lock()
+		ch := tc.pending[env.Seq]
+		delete(tc.pending, env.Seq)
+		tc.mu.Unlock()
+		if ch != nil {
+			ch <- env
+		}
+	}
+}
+
+// getConn returns a live pooled connection to 'to', dialing if needed.
+func (e *TCPEndpoint) getConn(ctx context.Context, to Addr) (*tcpConn, error) {
+	e.mu.RLock()
+	tc := e.conns[to]
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if tc != nil {
+		tc.mu.Lock()
+		dead := tc.dead
+		tc.mu.Unlock()
+		if !dead {
+			return tc, nil
+		}
+	}
+	d := net.Dialer{}
+	c, err := d.DialContext(ctx, "tcp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, to, err)
+	}
+	tc = &tcpConn{c: c, enc: gob.NewEncoder(c), pending: make(map[uint64]chan envelope)}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		c.Close()
+		return nil, ErrClosed
+	}
+	e.conns[to] = tc
+	e.mu.Unlock()
+	go tc.readLoop()
+	return tc, nil
+}
+
+// Call implements Endpoint.
+func (e *TCPEndpoint) Call(ctx context.Context, to Addr, req msg.Message) (msg.Message, error) {
+	tc, err := e.getConn(ctx, to)
+	if err != nil {
+		return nil, err
+	}
+	seq := e.nextSeq.Add(1)
+	ch := make(chan envelope, 1)
+
+	tc.mu.Lock()
+	if tc.dead {
+		tc.mu.Unlock()
+		return nil, ErrUnreachable
+	}
+	tc.pending[seq] = ch
+	err = tc.enc.Encode(&envelope{Seq: seq, From: string(e.addr), Body: req})
+	tc.mu.Unlock()
+	if err != nil {
+		tc.fail()
+		return nil, fmt.Errorf("%w: send: %v", ErrUnreachable, err)
+	}
+
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			return nil, ErrUnreachable
+		}
+		if env.HasErr {
+			return nil, &RemoteError{Msg: env.ErrMsg}
+		}
+		return env.Body, nil
+	case <-ctx.Done():
+		tc.mu.Lock()
+		delete(tc.pending, seq)
+		tc.mu.Unlock()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, ErrTimeout
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// Close implements Endpoint: it stops the listener and tears down pooled
+// connections.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[Addr]*tcpConn{}
+	inbound := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		inbound = append(inbound, c)
+	}
+	e.mu.Unlock()
+
+	err := e.ln.Close()
+	for _, tc := range conns {
+		tc.fail()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	e.wg.Wait()
+	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		return err
+	}
+	return nil
+}

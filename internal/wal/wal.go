@@ -1,0 +1,259 @@
+// Package wal implements a crash-safe append-only write-ahead log used by
+// user peers to persist their committed patch history and tentative edits
+// across restarts.
+//
+// The paper's user peers "hold local replicas of shared documents" and
+// must work offline (e.g. on a train); surviving a process restart without
+// refetching the whole P2P-Log requires durable local state. Records are
+// length-prefixed and CRC-32 checksummed; recovery reads the longest valid
+// prefix and truncates a torn tail, never surfacing a corrupt record.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// magic identifies a WAL file.
+var magic = [8]byte{'P', '2', 'P', 'L', 'T', 'R', 'W', '1'}
+
+// ErrCorrupt reports a record that failed its checksum mid-file (not at
+// the tail, where truncation is expected after a crash).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+const headerLen = 8 // 4-byte length + 4-byte CRC
+
+// MaxRecordSize bounds one record (guards against reading a garbage
+// length from a torn header).
+const MaxRecordSize = 16 << 20
+
+// Log is an append-only record log. Methods are safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	size int64
+}
+
+// Open creates or opens the log at path, recovering committed records.
+// The records are passed to replay in order; a torn tail is truncated.
+func Open(path string, replay func(rec []byte) error) (*Log, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path}
+
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(magic[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: write magic: %w", err)
+		}
+		l.size = int64(len(magic))
+	} else {
+		valid, err := l.recover(replay)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if _, err := f.Seek(valid, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: seek: %w", err)
+		}
+		l.size = valid
+	}
+	l.w = bufio.NewWriter(f)
+	return l, nil
+}
+
+// recover scans records from the start, invoking replay for each valid
+// one, and returns the offset of the end of the valid prefix.
+func (l *Log) recover(replay func([]byte) error) (int64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("wal: seek: %w", err)
+	}
+	r := bufio.NewReader(l.f)
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return int64(len(magic)), nil // shorter than magic: treat as empty
+	}
+	if hdr != magic {
+		return 0, fmt.Errorf("wal: %s is not a wal file", l.path)
+	}
+	offset := int64(len(magic))
+	for {
+		var h [headerLen]byte
+		if _, err := io.ReadFull(r, h[:]); err != nil {
+			return offset, nil // clean EOF or torn header: stop here
+		}
+		length := binary.LittleEndian.Uint32(h[:4])
+		sum := binary.LittleEndian.Uint32(h[4:])
+		if length > MaxRecordSize {
+			return offset, nil // garbage length: torn tail
+		}
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return offset, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(buf) != sum {
+			return offset, nil // torn or bit-rotted tail record
+		}
+		if replay != nil {
+			if err := replay(buf); err != nil {
+				return 0, fmt.Errorf("wal: replay at %d: %w", offset, err)
+			}
+		}
+		offset += headerLen + int64(length)
+	}
+}
+
+// Append durably adds one record (buffered; call Sync to force to disk).
+func (l *Log) Append(rec []byte) error {
+	if len(rec) > MaxRecordSize {
+		return fmt.Errorf("wal: record of %d bytes exceeds max", len(rec))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return errors.New("wal: closed")
+	}
+	var h [headerLen]byte
+	binary.LittleEndian.PutUint32(h[:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(h[4:], crc32.ChecksumIEEE(rec))
+	if _, err := l.w.Write(h[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(rec); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += headerLen + int64(len(rec))
+	return nil
+}
+
+// Sync flushes buffers and fsyncs.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return errors.New("wal: closed")
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Size returns the current logical size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
+	ferr := l.w.Flush()
+	serr := l.f.Sync()
+	cerr := l.f.Close()
+	l.w = nil
+	if ferr != nil {
+		return ferr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Compact atomically rewrites the log to contain exactly the given
+// records (e.g. a snapshot after folding committed patches into a
+// document checkpoint). The log remains open for appends afterwards.
+func (l *Log) Compact(records [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return errors.New("wal: closed")
+	}
+	tmp := l.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	size := int64(len(magic))
+	if _, err := w.Write(magic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	for _, rec := range records {
+		var h [headerLen]byte
+		binary.LittleEndian.PutUint32(h[:4], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(h[4:], crc32.ChecksumIEEE(rec))
+		if _, err := w.Write(h[:]); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+		size += headerLen + int64(len(rec))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Swap in atomically.
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("wal: compact rename: %w", err)
+	}
+	nf, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopen after compact: %w", err)
+	}
+	l.f = nf
+	l.w = bufio.NewWriter(nf)
+	l.size = size
+	return nil
+}

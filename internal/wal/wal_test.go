@@ -1,0 +1,307 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openCollect(t *testing.T, path string) (*Log, [][]byte) {
+	t.Helper()
+	var recs [][]byte
+	l, err := Open(path, func(rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+func TestAppendRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, recs := openCollect(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs = openCollect(t, path)
+	if len(recs) != 10 {
+		t.Fatalf("recovered %d records", len(recs))
+	}
+	for i, r := range recs {
+		if string(r) != fmt.Sprintf("record-%d", i) {
+			t.Fatalf("record %d = %q", i, r)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, _ := openCollect(t, path)
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: chop 3 bytes off.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := openCollect(t, path)
+	if len(recs) != 4 {
+		t.Fatalf("recovered %d records after torn tail, want 4", len(recs))
+	}
+	// The log must be appendable after truncation and the new record
+	// must survive the next recovery.
+	if err := l2.Append([]byte("after-crash")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs = openCollect(t, path)
+	if len(recs) != 5 || string(recs[4]) != "after-crash" {
+		t.Fatalf("post-crash append lost: %q", recs)
+	}
+}
+
+func TestCorruptTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, _ := openCollect(t, path)
+	if err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("will-rot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit in the last record.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openCollect(t, path)
+	if len(recs) != 1 || string(recs[0]) != "good" {
+		t.Fatalf("recovered %v", recs)
+	}
+}
+
+func TestNotAWalFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus")
+	if err := os.WriteFile(path, []byte("definitely not a wal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, nil); err == nil {
+		t.Fatalf("opened a non-wal file")
+	}
+}
+
+func TestEmptyAndTinyFiles(t *testing.T) {
+	// A file shorter than the magic is treated as empty.
+	path := filepath.Join(t.TempDir(), "tiny.wal")
+	if err := os.WriteFile(path, []byte("P2P"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs := openCollect(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("replayed from tiny file")
+	}
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+}
+
+func TestSyncAndSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, _ := openCollect(t, path)
+	base := l.Size()
+	if err := l.Append([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != base+8+4 {
+		t.Fatalf("size %d", l.Size())
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != l.Size() {
+		t.Fatalf("disk %d vs logical %d", st.Size(), l.Size())
+	}
+	l.Close()
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, _ := openCollect(t, path)
+	l.Close()
+	if err := l.Append([]byte("x")); err == nil {
+		t.Fatalf("append after close succeeded")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatalf("sync after close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, _ := openCollect(t, path)
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatalf("oversize record accepted")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, _ := openCollect(t, path)
+	for i := 0; i < 20; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact([][]byte{[]byte("snapshot"), []byte("tail-1")}); err != nil {
+		t.Fatal(err)
+	}
+	// Appends continue after compaction.
+	if err := l.Append([]byte("tail-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openCollect(t, path)
+	want := []string{"snapshot", "tail-1", "tail-2"}
+	if len(recs) != len(want) {
+		t.Fatalf("recovered %d records: %q", len(recs), recs)
+	}
+	for i, w := range want {
+		if string(recs[i]) != w {
+			t.Fatalf("record %d = %q want %q", i, recs[i], w)
+		}
+	}
+}
+
+// Property: any sequence of appended records recovers byte-identical, in
+// order.
+func TestRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	f := func(records [][]byte) bool {
+		n++
+		path := filepath.Join(dir, fmt.Sprintf("p%d.wal", n))
+		l, err := Open(path, nil)
+		if err != nil {
+			return false
+		}
+		for _, r := range records {
+			if len(r) > MaxRecordSize {
+				continue
+			}
+			if err := l.Append(r); err != nil {
+				return false
+			}
+		}
+		if err := l.Close(); err != nil {
+			return false
+		}
+		var got [][]byte
+		l2, err := Open(path, func(rec []byte) error {
+			got = append(got, append([]byte(nil), rec...))
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		l2.Close()
+		if len(got) != len(records) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], records[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncationAtEveryPoint chops the file at every possible length and
+// verifies recovery always yields a prefix of the appended records.
+func TestTruncationAtEveryPoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, _ := openCollect(t, path)
+	var want [][]byte
+	for i := 0; i < 6; i++ {
+		rec := []byte(fmt.Sprintf("record-number-%d", i))
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(magic); cut < len(full); cut++ {
+		p := filepath.Join(t.TempDir(), "cut.wal")
+		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got [][]byte
+		l2, err := Open(p, func(rec []byte) error {
+			got = append(got, append([]byte(nil), rec...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		l2.Close()
+		if len(got) > len(want) {
+			t.Fatalf("cut %d: recovered more than written", cut)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("cut %d: record %d corrupted: %q", cut, i, got[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package workload generates the editing workloads, key popularity
+// distributions and churn schedules used by the experiment harness.
+//
+// The paper's prototype lets the operator "specify the number of peers or
+// network latencies, or provoke failures"; this package is the scripted
+// equivalent: deterministic (seeded) generators for concurrent editors,
+// Zipf-distributed document popularity, and Poisson join/leave churn.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// EditKind enumerates generated edit actions.
+type EditKind uint8
+
+const (
+	// EditInsert inserts a line at Pos.
+	EditInsert EditKind = iota
+	// EditDelete deletes the line at Pos.
+	EditDelete
+)
+
+// Edit is one generated edit action relative to a document length.
+type Edit struct {
+	Kind EditKind
+	Pos  int
+	Line string
+}
+
+// Editor generates a stream of edits for one collaborating site,
+// tracking the evolving document length so positions stay valid.
+type Editor struct {
+	Site string
+
+	rng    *rand.Rand
+	length int
+	seq    int
+	// DeleteFraction is the probability an edit deletes instead of
+	// inserting (when the document is non-empty). Default 0.3.
+	DeleteFraction float64
+}
+
+// NewEditor creates a deterministic editor for site with the document's
+// current length.
+func NewEditor(site string, startLen int, seed int64) *Editor {
+	return &Editor{
+		Site:           site,
+		rng:            rand.New(rand.NewSource(seed)),
+		length:         startLen,
+		DeleteFraction: 0.3,
+	}
+}
+
+// SetLength re-synchronizes the editor's view of the document length
+// (after pulls merge remote edits).
+func (e *Editor) SetLength(n int) {
+	if n >= 0 {
+		e.length = n
+	}
+}
+
+// Next produces the next edit.
+func (e *Editor) Next() Edit {
+	e.seq++
+	if e.length > 0 && e.rng.Float64() < e.DeleteFraction {
+		pos := e.rng.Intn(e.length)
+		e.length--
+		return Edit{Kind: EditDelete, Pos: pos}
+	}
+	pos := e.rng.Intn(e.length + 1)
+	e.length++
+	return Edit{Kind: EditInsert, Pos: pos, Line: fmt.Sprintf("%s/%d", e.Site, e.seq)}
+}
+
+// Burst produces n consecutive edits.
+func (e *Editor) Burst(n int) []Edit {
+	out := make([]Edit, n)
+	for i := range out {
+		out[i] = e.Next()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Key popularity.
+
+// ZipfKeys draws document keys with Zipf popularity: key 0 is the hottest
+// (the "concurrent updates on the same document" regime the paper calls
+// the typical collaborative case).
+type ZipfKeys struct {
+	z    *rand.Zipf
+	keys []string
+}
+
+// NewZipfKeys creates a generator over nKeys documents with exponent s
+// (s=1.07 is a common web-like skew; larger = more skewed).
+func NewZipfKeys(nKeys int, s float64, seed int64) *ZipfKeys {
+	if nKeys < 1 {
+		nKeys = 1
+	}
+	if s <= 1 {
+		s = 1.01
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("doc-%03d", i)
+	}
+	return &ZipfKeys{
+		z:    rand.NewZipf(rng, s, 1, uint64(nKeys-1)),
+		keys: keys,
+	}
+}
+
+// Next returns the next document key.
+func (z *ZipfKeys) Next() string { return z.keys[z.z.Uint64()] }
+
+// Keys returns all keys (index 0 = hottest).
+func (z *ZipfKeys) Keys() []string { return append([]string(nil), z.keys...) }
+
+// ---------------------------------------------------------------------------
+// Churn.
+
+// ChurnEventKind enumerates membership events.
+type ChurnEventKind uint8
+
+const (
+	// ChurnJoin adds a fresh peer.
+	ChurnJoin ChurnEventKind = iota
+	// ChurnLeave makes a random peer depart gracefully.
+	ChurnLeave
+	// ChurnCrash fail-stops a random peer.
+	ChurnCrash
+)
+
+func (k ChurnEventKind) String() string {
+	switch k {
+	case ChurnJoin:
+		return "join"
+	case ChurnLeave:
+		return "leave"
+	case ChurnCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("churn(%d)", uint8(k))
+	}
+}
+
+// ChurnEvent is one scheduled membership change.
+type ChurnEvent struct {
+	At   time.Duration // offset from experiment start
+	Kind ChurnEventKind
+}
+
+// ChurnSchedule generates a Poisson-arrival churn plan: events arrive
+// with mean inter-arrival meanGap over the given horizon, with the
+// specified mix of joins/leaves/crashes (weights need not sum to 1).
+func ChurnSchedule(horizon, meanGap time.Duration, joinW, leaveW, crashW float64, seed int64) []ChurnEvent {
+	rng := rand.New(rand.NewSource(seed))
+	total := joinW + leaveW + crashW
+	if total <= 0 {
+		return nil
+	}
+	var events []ChurnEvent
+	t := time.Duration(0)
+	for {
+		// Exponential inter-arrival.
+		gap := time.Duration(rng.ExpFloat64() * float64(meanGap))
+		t += gap
+		if t >= horizon {
+			return events
+		}
+		u := rng.Float64() * total
+		var kind ChurnEventKind
+		switch {
+		case u < joinW:
+			kind = ChurnJoin
+		case u < joinW+leaveW:
+			kind = ChurnLeave
+		default:
+			kind = ChurnCrash
+		}
+		events = append(events, ChurnEvent{At: t, Kind: kind})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Document corpus.
+
+// Corpus builds an initial document of n lines (deterministic content).
+func Corpus(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	out := make([]byte, 0, n*16)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("line-%04d", i)...)
+		if i < n-1 {
+			out = append(out, '\n')
+		}
+	}
+	return string(out)
+}
+
+// MeanInterArrival converts an events-per-second rate into a mean gap.
+func MeanInterArrival(perSecond float64) time.Duration {
+	if perSecond <= 0 {
+		return math.MaxInt64
+	}
+	return time.Duration(float64(time.Second) / perSecond)
+}

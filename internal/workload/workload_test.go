@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEditorPositionsStayValid(t *testing.T) {
+	e := NewEditor("s1", 0, 7)
+	length := 0
+	for i := 0; i < 1000; i++ {
+		ed := e.Next()
+		switch ed.Kind {
+		case EditInsert:
+			if ed.Pos < 0 || ed.Pos > length {
+				t.Fatalf("insert pos %d out of [0,%d]", ed.Pos, length)
+			}
+			length++
+		case EditDelete:
+			if ed.Pos < 0 || ed.Pos >= length {
+				t.Fatalf("delete pos %d out of [0,%d)", ed.Pos, length)
+			}
+			length--
+		}
+	}
+	if length <= 0 {
+		t.Fatalf("editor never grows the doc: %d", length)
+	}
+}
+
+func TestEditorDeterministic(t *testing.T) {
+	a := NewEditor("s1", 5, 42)
+	b := NewEditor("s1", 5, 42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestEditorSetLength(t *testing.T) {
+	e := NewEditor("s1", 0, 1)
+	e.SetLength(100)
+	ed := e.Next()
+	if ed.Kind == EditInsert && ed.Pos > 100 {
+		t.Fatalf("pos %d beyond synced length", ed.Pos)
+	}
+	e.SetLength(-5) // ignored
+	_ = e.Next()
+}
+
+func TestEditorBurst(t *testing.T) {
+	e := NewEditor("s1", 0, 1)
+	edits := e.Burst(10)
+	if len(edits) != 10 {
+		t.Fatalf("burst %d", len(edits))
+	}
+	// Insert lines carry the site tag.
+	for _, ed := range edits {
+		if ed.Kind == EditInsert && !strings.HasPrefix(ed.Line, "s1/") {
+			t.Fatalf("line %q missing site tag", ed.Line)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipfKeys(10, 1.5, 3)
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[z.Next()]++
+	}
+	hot := counts["doc-000"]
+	if hot < 2000 {
+		t.Fatalf("hottest key drew only %d/5000", hot)
+	}
+	if len(z.Keys()) != 10 {
+		t.Fatalf("keys %d", len(z.Keys()))
+	}
+	// Degenerate parameters normalize.
+	z2 := NewZipfKeys(0, 0.5, 1)
+	if z2.Next() != "doc-000" {
+		t.Fatalf("single-key generator broken")
+	}
+}
+
+func TestChurnSchedule(t *testing.T) {
+	events := ChurnSchedule(10*time.Second, time.Second, 1, 1, 1, 5)
+	if len(events) < 3 {
+		t.Fatalf("only %d events in 10s at ~1/s", len(events))
+	}
+	last := time.Duration(0)
+	kinds := map[ChurnEventKind]int{}
+	for _, ev := range events {
+		if ev.At < last {
+			t.Fatalf("events out of order")
+		}
+		if ev.At >= 10*time.Second {
+			t.Fatalf("event beyond horizon")
+		}
+		last = ev.At
+		kinds[ev.Kind]++
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("kind mix too narrow: %v", kinds)
+	}
+	// Zero weights -> no events.
+	if ev := ChurnSchedule(time.Second, time.Millisecond, 0, 0, 0, 1); ev != nil {
+		t.Fatalf("zero-weight schedule produced events")
+	}
+	// Deterministic.
+	a := ChurnSchedule(5*time.Second, time.Second, 1, 2, 3, 9)
+	b := ChurnSchedule(5*time.Second, time.Second, 1, 2, 3, 9)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d", i)
+		}
+	}
+}
+
+func TestChurnKindString(t *testing.T) {
+	for _, k := range []ChurnEventKind{ChurnJoin, ChurnLeave, ChurnCrash, ChurnEventKind(9)} {
+		if k.String() == "" {
+			t.Fatalf("empty string for kind %d", k)
+		}
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	if Corpus(0) != "" {
+		t.Fatalf("empty corpus")
+	}
+	c := Corpus(3)
+	lines := strings.Split(c, "\n")
+	if len(lines) != 3 || lines[0] != "line-0000" {
+		t.Fatalf("corpus %q", c)
+	}
+}
+
+func TestMeanInterArrival(t *testing.T) {
+	if MeanInterArrival(2) != 500*time.Millisecond {
+		t.Fatalf("got %v", MeanInterArrival(2))
+	}
+	if MeanInterArrival(0) < time.Hour {
+		t.Fatalf("zero rate should be effectively never")
+	}
+}
