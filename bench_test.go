@@ -279,6 +279,48 @@ func BenchmarkE8PullUnderReplication(b *testing.B) {
 	}
 }
 
+// BenchmarkE9ColdJoinCatchup measures a fresh replica catching up on a
+// deep document history, with and without the checkpoint subsystem: the
+// checkpointed join fetches O(interval) patches, the baseline O(history).
+func BenchmarkE9ColdJoinCatchup(b *testing.B) {
+	const history = 50 // not a multiple of interval: joins replay a real tail
+	const interval = 8
+	for _, mode := range []struct {
+		name     string
+		interval uint64
+	}{{"baseline", 0}, {"checkpointed", interval}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := ringtest.FastOptions()
+			opts.CheckpointInterval = mode.interval
+			c := mustCluster(b, 8, opts)
+			ctx := context.Background()
+			writer := core.NewReplica(c.Peers[0], "bench-doc", "writer")
+			for i := 0; i < history; i++ {
+				if err := writer.Insert(0, "x"); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := writer.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var fetched int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := core.NewReplica(c.Peers[i%len(c.Peers)], "bench-doc", fmt.Sprintf("joiner%d", i))
+				if err := r.Pull(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if r.CommittedTS() != history {
+					b.Fatalf("join stopped at %d", r.CommittedTS())
+				}
+				_, f := r.Stats()
+				fetched += f
+			}
+			b.ReportMetric(float64(fetched)/float64(b.N), "fetches/join")
+		})
+	}
+}
+
 // BenchmarkCoreDHTPut / Get measure the storage substrate.
 func BenchmarkCoreDHTPut(b *testing.B) {
 	c := mustCluster(b, 8, ringtest.FastOptions())

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("e", "all", "experiment ID (E1..E8) or 'all'")
+		exp   = flag.String("e", "all", "experiment ID (E1..E9, A1) or 'all'")
 		seed  = flag.Int64("seed", 1, "workload and latency seed")
 		quick = flag.Bool("quick", false, "reduced parameter sweeps")
 		list  = flag.Bool("list", false, "list experiments and exit")

@@ -1,0 +1,3 @@
+module p2pltr
+
+go 1.24

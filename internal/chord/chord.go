@@ -127,11 +127,18 @@ type Node struct {
 	id  ids.ID
 	ref msg.NodeRef
 
-	mu      sync.RWMutex
-	pred    msg.NodeRef
-	succs   []msg.NodeRef // succs[0] is the immediate successor; never empty once started
-	fingers [ids.Bits]msg.NodeRef
-	nextFix int
+	mu        sync.RWMutex
+	pred      msg.NodeRef
+	succs     []msg.NodeRef // succs[0] is the immediate successor; never empty once started
+	fingers   [ids.Bits]msg.NodeRef
+	nextFix   int
+	nextMerge int
+	mergeTick int
+	// evicted remembers nodes recently dropped from the routing state
+	// (most recent first). A node islanded by a loss burst — every peer
+	// falsely suspected and evicted — has empty live tables, so this
+	// memory is its only way back into the ring (see mergeCycles).
+	evicted []msg.NodeRef
 	started bool
 	stopped bool
 

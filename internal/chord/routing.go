@@ -56,8 +56,15 @@ func (n *Node) lookupOnce(ctx context.Context, key ids.ID) (msg.NodeRef, int, er
 	if cur.ID == n.id {
 		return succ, 1, nil // best effort on a transiently inconsistent ring
 	}
+	return n.walk(ctx, cur, key, 1)
+}
 
-	for hops := 1; hops < MaxHops; hops++ {
+// walk iteratively resolves successor(key) from cur, following
+// redirects to a final answer and evicting unreachable hops. Local
+// lookups enter it after their local first step; mergeCycles enters it
+// at a remote node so the walk uses that node's view of the ring.
+func (n *Node) walk(ctx context.Context, cur msg.NodeRef, key ids.ID, startHops int) (msg.NodeRef, int, error) {
+	for hops := startHops; hops < MaxHops; hops++ {
 		resp, err := n.Call(ctx, transport.Addr(cur.Addr), &msg.FindSuccessorReq{Key: key, Hops: hops})
 		if err != nil {
 			if transport.IsUnavailable(err) {
@@ -136,7 +143,8 @@ func (n *Node) probe(ctx context.Context, ref msg.NodeRef) bool {
 	return ok
 }
 
-// evict removes a dead node from the local routing state.
+// evict removes a dead node from the local routing state, remembering it
+// in the eviction history in case the suspicion was false.
 func (n *Node) evict(dead msg.NodeRef) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -158,4 +166,11 @@ func (n *Node) evict(dead msg.NodeRef) {
 	if n.pred.Addr == dead.Addr {
 		n.pred = msg.NodeRef{}
 	}
+	hist := []msg.NodeRef{dead}
+	for _, e := range n.evicted {
+		if e.Addr != dead.Addr && len(hist) < 2*n.cfg.SuccListLen {
+			hist = append(hist, e)
+		}
+	}
+	n.evicted = hist
 }

@@ -56,6 +56,112 @@ func (n *Node) stabilize(ctx context.Context) {
 	if succ.ID != n.id {
 		_, _ = n.Call(ctx, transport.Addr(succ.Addr), &msg.NotifyReq{Candidate: n.ref})
 	}
+
+	n.mergeCycles(ctx)
+}
+
+// mergeEvery rate-limits the cross-check: a split can only be created
+// by (false) suspicion, never by quiet operation, so a healthy ring
+// pays the extra lookup on a fraction of stabilize rounds while an
+// islanded node (self-loop — repair cannot wait) checks every round.
+const mergeEvery = 4
+
+// mergeCycles repairs ring states plain stabilization cannot: mutual
+// false suspicion under message loss can split the ring into disjoint
+// cycles that are each internally consistent (a fully evicted node's
+// self-loop is the degenerate case), and stabilize/notify traffic then
+// stays within each cycle forever. The repair cross-checks the wider
+// membership view: it asks a known node outside the immediate successor
+// for successor(self+1) and adopts the answer when it lies between self
+// and the current successor — a strict improvement, so repeated rounds
+// converge the merged ring just like ordinary stabilization.
+func (n *Node) mergeCycles(ctx context.Context) {
+	succ := n.Successor()
+	n.mu.Lock()
+	n.mergeTick++
+	tick := n.mergeTick
+	n.mu.Unlock()
+	if succ.ID != n.id && tick%mergeEvery != 0 {
+		return
+	}
+	cand := n.crossCheckCandidate(succ)
+	if cand.IsZero() {
+		return
+	}
+	y, _, err := n.walk(ctx, cand, ids.Add(n.id, 1), 0)
+	if err != nil || y.IsZero() || y.ID == n.id || y.ID == succ.ID {
+		return
+	}
+	if !ids.Between(y.ID, n.id, succ.ID) && succ.ID != n.id {
+		return
+	}
+	if !n.probe(ctx, y) {
+		return
+	}
+	n.adoptSuccessor(y)
+	_, _ = n.Call(ctx, transport.Addr(y.Addr), &msg.NotifyReq{Candidate: n.ref})
+}
+
+// crossCheckCandidate rotates through the nodes this one knows beyond
+// its immediate successor — predecessor, successor-list tail, fingers —
+// returning one to route the next cross-check lookup through.
+func (n *Node) crossCheckCandidate(succ msg.NodeRef) msg.NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var cands []msg.NodeRef
+	add := func(r msg.NodeRef) {
+		if r.IsZero() || r.ID == n.id || r.Addr == succ.Addr || containsRef(cands, r) {
+			return
+		}
+		cands = append(cands, r)
+	}
+	add(n.pred)
+	for _, s := range n.succs {
+		add(s)
+	}
+	for _, f := range n.fingers {
+		add(f)
+	}
+	if len(cands) == 0 {
+		// Islanded: the live tables know nobody. Fall back to recently
+		// evicted peers — a false suspicion during a loss burst is the
+		// usual way a node ends up here, and those peers are still alive.
+		for _, e := range n.evicted {
+			add(e)
+		}
+	}
+	if len(cands) == 0 {
+		return msg.NodeRef{}
+	}
+	n.nextMerge++
+	return cands[n.nextMerge%len(cands)]
+}
+
+// adoptSuccessor installs y as the immediate successor if it is still an
+// improvement over the current one (the pointer may have moved since the
+// caller checked).
+func (n *Node) adoptSuccessor(y msg.NodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur := n.ref
+	if len(n.succs) > 0 && !n.succs[0].IsZero() {
+		cur = n.succs[0]
+	}
+	if y.ID == cur.ID || (cur.ID != n.id && !ids.Between(y.ID, n.id, cur.ID)) {
+		return
+	}
+	list := make([]msg.NodeRef, 0, n.cfg.SuccListLen)
+	list = append(list, y)
+	for _, s := range n.succs {
+		if len(list) >= n.cfg.SuccListLen {
+			break
+		}
+		if s.IsZero() || s.Addr == y.Addr || s.ID == n.id {
+			continue
+		}
+		list = append(list, s)
+	}
+	n.succs = list
 }
 
 // liveSuccessorNeighbors returns the first successor-list entry that

@@ -111,6 +111,11 @@ func TestCommitUnderMessageLoss(t *testing.T) {
 		}
 	}
 	c.Net.SetDropProb(0)
+	// Loss-induced false suspicions may have reorganized the ring; let it
+	// settle before asserting on a fresh replica's pull.
+	if err := c.WaitStable(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
 	b := core.NewReplica(c.Peers[3], "lossy-doc", "bob")
 	if err := b.Pull(ctx); err != nil {
 		t.Fatal(err)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"p2pltr/internal/checkpoint"
 	"p2pltr/internal/chord"
 	"p2pltr/internal/dht"
 	"p2pltr/internal/kts"
@@ -33,6 +34,15 @@ type Options struct {
 	ClientAttempts int
 	// ClientBackoff separates retries (default 2x stabilize interval).
 	ClientBackoff time.Duration
+	// CheckpointInterval makes replicas on this peer snapshot a document
+	// into the DHT every CheckpointInterval committed patches (the author
+	// of the boundary patch is the elected producer). 0 disables
+	// production; replicas still bootstrap from checkpoints published by
+	// others.
+	CheckpointInterval uint64
+	// CheckpointReplicas is |Hc|, the checkpoint replication factor
+	// (defaults to LogReplicas).
+	CheckpointReplicas int
 }
 
 func (o Options) withDefaults() Options {
@@ -47,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ClientBackoff == 0 {
 		o.ClientBackoff = 2 * o.Chord.StabilizeEvery
+	}
+	if o.CheckpointReplicas == 0 {
+		o.CheckpointReplicas = o.LogReplicas
 	}
 	return o
 }
@@ -64,6 +77,7 @@ type Peer struct {
 
 	Client *dht.Client
 	Log    *p2plog.Log
+	Ckpt   *checkpoint.Store
 }
 
 // NewPeer wires a peer onto the given transport endpoint.
@@ -75,11 +89,17 @@ func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 	p.DHT.SetRing(node)
 	p.Client = dht.NewClient(node, opts.ClientAttempts, opts.ClientBackoff)
 	p.Log = p2plog.New(p.Client, opts.LogReplicas)
+	p.Ckpt = checkpoint.NewStore(p.Client, opts.CheckpointReplicas)
 	p.KTS = kts.NewService(node, p.Log)
+	p.KTS.SetCheckpointStore(p.Ckpt)
 	node.Attach(p.DHT)
 	node.Attach(p.KTS)
 	return p
 }
+
+// CheckpointInterval returns the configured checkpoint period (0 when
+// this peer does not produce checkpoints).
+func (p *Peer) CheckpointInterval() uint64 { return p.opts.CheckpointInterval }
 
 // Create bootstraps a new ring with this peer as its only member.
 func (p *Peer) Create() { p.Node.Create() }

@@ -134,6 +134,35 @@ func (r *Replica) saveLocked() error {
 	return r.journal.Sync()
 }
 
+// compactJournalLocked rewrites the journal to a single snapshot record;
+// r.mu must be held. Checkpoint production and checkpoint bootstrap call
+// it so local WAL recovery, like DHT catch-up, starts from a snapshot
+// instead of a record chain.
+func (r *Replica) compactJournalLocked() error {
+	if r.journal == nil {
+		return nil
+	}
+	b, err := encodeState(r.snapshotLocked())
+	if err != nil {
+		return err
+	}
+	if err := r.journal.Compact([][]byte{b}); err != nil {
+		return err
+	}
+	return r.journal.Sync()
+}
+
+// JournalSize returns the journal's current size in bytes (0 without
+// one); tests and monitoring use it to observe compaction.
+func (r *Replica) JournalSize() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.journal == nil {
+		return 0
+	}
+	return r.journal.Size()
+}
+
 // CloseJournal flushes and closes the journal (no-op without one).
 func (r *Replica) CloseJournal() error {
 	r.mu.Lock()

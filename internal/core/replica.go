@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"p2pltr/internal/checkpoint"
 	"p2pltr/internal/ids"
 	"p2pltr/internal/msg"
 	"p2pltr/internal/ot"
@@ -42,6 +43,12 @@ type Replica struct {
 	// stats
 	behindRounds int64
 	retrieved    int64
+	// checkpoint bookkeeping: the newest checkpoint timestamp learned
+	// from master acks, and counters for produced snapshots and
+	// checkpoint-based bootstraps.
+	seenCkptTS     uint64
+	ckptPublished  int64
+	ckptBootstraps int64
 	// journal, when non-nil, persists snapshots across restarts (see
 	// OpenReplica in persist.go).
 	journal *wal.Log
@@ -101,6 +108,22 @@ func (r *Replica) Stats() (behindRounds, retrieved int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.behindRounds, r.retrieved
+}
+
+// CheckpointStats returns how many checkpoints this replica produced and
+// how many times it bootstrapped from one instead of replaying the log.
+func (r *Replica) CheckpointStats() (published, bootstraps int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ckptPublished, r.ckptBootstraps
+}
+
+// KnownCheckpointTS returns the newest checkpoint timestamp this replica
+// has learned from master acks (piggybacked on validation and last_ts).
+func (r *Replica) KnownCheckpointTS() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seenCkptTS
 }
 
 func (r *Replica) workingLocked() *patch.Document {
@@ -191,6 +214,9 @@ func (r *Replica) Commit(ctx context.Context) (uint64, error) {
 		if err != nil {
 			return r.committedTS, err
 		}
+		if resp.CkptTS > r.seenCkptTS {
+			r.seenCkptTS = resp.CkptTS
+		}
 		switch resp.Status {
 		case msg.ValidateOK:
 			// The patch is committed at resp.ValidatedTS: fold it into the
@@ -205,6 +231,7 @@ func (r *Replica) Commit(ctx context.Context) (uint64, error) {
 			if err := r.saveLocked(); err != nil {
 				return r.committedTS, fmt.Errorf("core: committed at ts %d but journaling failed: %w", r.committedTS, err)
 			}
+			r.maybeCheckpointLocked(ctx, resp.ValidatedTS)
 			return r.committedTS, nil
 
 		case msg.ValidateBehind:
@@ -241,17 +268,82 @@ func (r *Replica) Pull(ctx context.Context) error {
 }
 
 func (r *Replica) pullLocked(ctx context.Context) error {
-	resp, err := r.lastTSFromMaster(ctx)
+	last, ckpt, err := r.lastTSFromMaster(ctx)
 	if err != nil {
 		return err
 	}
-	if resp <= r.committedTS {
+	if ckpt > r.seenCkptTS {
+		r.seenCkptTS = ckpt
+	}
+	changed := false
+	// Bootstrap from the newest reachable checkpoint plus the log tail:
+	// a cold (or long-offline) replica pays O(tail), not O(history).
+	// Jumping is only legal with no tentative edits — transforming them
+	// would need exactly the intermediate patches the jump skips.
+	if ckpt > r.committedTS && len(r.tentative) == 0 {
+		jumped, err := r.bootstrapFromCheckpointLocked(ctx, ckpt)
+		if err != nil {
+			return err
+		}
+		changed = changed || jumped
+	}
+	if last > r.committedTS {
+		if _, err := r.integrateMissingLocked(ctx, last, ""); err != nil {
+			return err
+		}
+		changed = true
+	}
+	if !changed {
 		return nil
 	}
-	if _, err := r.integrateMissingLocked(ctx, resp, ""); err != nil {
-		return err
-	}
 	return r.saveLocked()
+}
+
+// bootstrapFromCheckpointLocked installs the snapshot taken at ts as the
+// committed state, replacing whatever older prefix was integrated. The
+// journal is compacted to the snapshot (the paper's WAL checkpointing
+// piggybacks on the DHT-resident one). Returns false when no replica of
+// the promised checkpoint was reachable — the caller falls back to the
+// log, which may still hold the full history.
+func (r *Replica) bootstrapFromCheckpointLocked(ctx context.Context, ts uint64) (bool, error) {
+	cp, err := r.peer.Ckpt.Fetch(ctx, r.key, ts)
+	if err != nil {
+		if errors.Is(err, checkpoint.ErrMissing) {
+			return false, nil
+		}
+		return false, fmt.Errorf("core: checkpoint bootstrap for %s: %w", r.key, err)
+	}
+	r.committed = patch.FromLines(cp.Lines)
+	r.committedTS = cp.TS
+	r.ckptBootstraps++
+	return true, r.compactJournalLocked()
+}
+
+// maybeCheckpointLocked publishes a snapshot when this commit landed on a
+// checkpoint boundary. The elected producer f(key, ts) is the author of
+// the patch committed at ts — unique per timestamp by total order, so
+// exactly one site does the work without coordination. Best-effort: a
+// failed publish or announce only costs catch-up time, never
+// correctness, and the next boundary elects a producer again.
+func (r *Replica) maybeCheckpointLocked(ctx context.Context, ts uint64) {
+	if !checkpoint.ShouldCheckpoint(r.peer.opts.CheckpointInterval, ts) || r.committedTS != ts {
+		return
+	}
+	cp := checkpoint.Checkpoint{Key: r.key, TS: ts, Lines: r.committed.Lines()}
+	if _, err := r.peer.Ckpt.Publish(ctx, cp); err != nil {
+		return
+	}
+	resp, err := r.announceCheckpoint(ctx, ts)
+	if err != nil || !resp.Accepted {
+		return
+	}
+	if resp.CkptTS > r.seenCkptTS {
+		r.seenCkptTS = resp.CkptTS
+	}
+	r.ckptPublished++
+	// Local WAL checkpointing rides on the same snapshot: state up to ts
+	// is durable in the DHT, so the journal shrinks to one record.
+	_ = r.compactJournalLocked()
 }
 
 // integrateMissingLocked retrieves patches (committedTS, lastTS] from the
@@ -302,10 +394,11 @@ func (r *Replica) integrateMissingLocked(ctx context.Context, lastTS uint64, own
 // ---------------------------------------------------------------------------
 // Master-key communication.
 
-// callMaster locates the Master-key peer for the document (successor of
-// ht(key)) and sends req, retrying lookups while the ring reorganizes
-// (master departures, joins).
-func (r *Replica) callMaster(ctx context.Context, req *msg.ValidateReq) (*msg.ValidateResp, error) {
+// callMasterRaw locates the Master-key peer for the document (successor
+// of ht(key)) and sends req, retrying lookups while the ring reorganizes
+// (master departures, joins). notMaster reports whether a response came
+// from a peer that no longer holds mastership, forcing a re-lookup.
+func (r *Replica) callMasterRaw(ctx context.Context, req msg.Message, notMaster func(msg.Message) bool) (msg.Message, error) {
 	tsID := ids.HashTS(r.key)
 	var lastErr error
 	for attempt := 0; attempt < r.peer.opts.ClientAttempts; attempt++ {
@@ -335,50 +428,60 @@ func (r *Replica) callMaster(ctx context.Context, req *msg.ValidateReq) (*msg.Va
 			}
 			return nil, err
 		}
-		vr, ok := resp.(*msg.ValidateResp)
-		if !ok {
-			return nil, fmt.Errorf("core: unexpected response %T", resp)
-		}
-		if vr.Status == msg.ValidateNotMaster {
+		if notMaster(resp) {
 			lastErr = fmt.Errorf("core: %s is not master for %s", master.Addr, r.key)
 			continue // responsibility is mid-transfer; re-lookup
 		}
-		return vr, nil
+		return resp, nil
 	}
 	return nil, fmt.Errorf("%w: %v", ErrMasterUnavailable, lastErr)
 }
 
-// lastTSFromMaster implements the client side of last_ts(key).
-func (r *Replica) lastTSFromMaster(ctx context.Context) (uint64, error) {
-	tsID := ids.HashTS(r.key)
-	var lastErr error
-	for attempt := 0; attempt < r.peer.opts.ClientAttempts; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				return 0, ctx.Err()
-			case <-time.After(r.peer.opts.ClientBackoff):
-			}
-		}
-		master, _, err := r.peer.Node.FindSuccessor(ctx, tsID)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		resp, err := r.peer.Node.Call(ctx, transport.Addr(master.Addr), &msg.LastTSReq{Key: r.key})
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		lr, ok := resp.(*msg.LastTSResp)
-		if !ok {
-			return 0, fmt.Errorf("core: unexpected response %T", resp)
-		}
-		if lr.NotMaster {
-			lastErr = fmt.Errorf("core: %s is not master for %s", master.Addr, r.key)
-			continue
-		}
-		return lr.LastTS, nil
+// callMaster implements the client side of patch validation.
+func (r *Replica) callMaster(ctx context.Context, req *msg.ValidateReq) (*msg.ValidateResp, error) {
+	resp, err := r.callMasterRaw(ctx, req, func(m msg.Message) bool {
+		vr, ok := m.(*msg.ValidateResp)
+		return ok && vr.Status == msg.ValidateNotMaster
+	})
+	if err != nil {
+		return nil, err
 	}
-	return 0, fmt.Errorf("%w: %v", ErrMasterUnavailable, lastErr)
+	vr, ok := resp.(*msg.ValidateResp)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected response %T", resp)
+	}
+	return vr, nil
+}
+
+// lastTSFromMaster implements the client side of last_ts(key); the
+// master's latest-checkpoint pointer rides along on the ack.
+func (r *Replica) lastTSFromMaster(ctx context.Context) (lastTS, ckptTS uint64, err error) {
+	resp, err := r.callMasterRaw(ctx, &msg.LastTSReq{Key: r.key}, func(m msg.Message) bool {
+		lr, ok := m.(*msg.LastTSResp)
+		return ok && lr.NotMaster
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	lr, ok := resp.(*msg.LastTSResp)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: unexpected response %T", resp)
+	}
+	return lr.LastTS, lr.CkptTS, nil
+}
+
+// announceCheckpoint registers a published snapshot with the Master-key.
+func (r *Replica) announceCheckpoint(ctx context.Context, ts uint64) (*msg.CheckpointAnnounceResp, error) {
+	resp, err := r.callMasterRaw(ctx, &msg.CheckpointAnnounceReq{Key: r.key, TS: ts}, func(m msg.Message) bool {
+		ar, ok := m.(*msg.CheckpointAnnounceResp)
+		return ok && ar.NotMaster
+	})
+	if err != nil {
+		return nil, err
+	}
+	ar, ok := resp.(*msg.CheckpointAnnounceResp)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected response %T", resp)
+	}
+	return ar, nil
 }

@@ -107,6 +107,18 @@ func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Me
 			s.rep.Put(it.ID, it.Key, it.Value)
 		}
 		return &msg.Ack{}, true, nil
+	case *msg.DHTDeleteReq:
+		deleted := s.st.Delete(r.ID)
+		// Drop any successor copy of the slot too, or the Maintain
+		// promotion path could resurrect it after an owner crash.
+		s.rep.Delete(r.ID)
+		s.deleteFromSucc([]ids.ID{r.ID})
+		return &msg.DHTDeleteResp{Deleted: deleted}, true, nil
+	case *msg.DHTReplicaDeleteReq:
+		for _, id := range r.IDs {
+			s.rep.Delete(id)
+		}
+		return &msg.Ack{}, true, nil
 	case *msg.DHTGetReq:
 		if v, ok := s.st.Get(r.ID); ok {
 			return &msg.DHTGetResp{Found: true, Value: v}, true, nil
@@ -143,6 +155,25 @@ func (s *Service) replicateToSucc(items []msg.StateItem) {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		_, _ = rng.Call(ctx, transport.Addr(succ.Addr), &msg.DHTReplicaPutReq{Items: items})
+	}()
+}
+
+// deleteFromSucc removes successor copies of deleted slots,
+// asynchronously and best-effort (a survivor copy only costs storage: its
+// content is identical to what the write-once slot held).
+func (s *Service) deleteFromSucc(idsToDrop []ids.ID) {
+	rng := s.ring()
+	if rng == nil || len(idsToDrop) == 0 || !s.succCopiesEnabled() {
+		return
+	}
+	succ := rng.Successor()
+	if succ.IsZero() || succ.ID == rng.Ref().ID {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, _ = rng.Call(ctx, transport.Addr(succ.Addr), &msg.DHTReplicaDeleteReq{IDs: idsToDrop})
 	}()
 }
 
@@ -277,6 +308,22 @@ func (c *Client) PutID(ctx context.Context, id ids.ID, key string, value []byte,
 		return false, nil, fmt.Errorf("dht: unexpected response %T", resp)
 	}
 	return pr.Stored, pr.Existing, nil
+}
+
+// DeleteID removes the slot at ring position id, reporting whether the
+// responsible peer held it. Reserved for the checkpoint layer's log
+// truncation: deleting a write-once slot is only sound when its content
+// is covered by a fully-replicated checkpoint.
+func (c *Client) DeleteID(ctx context.Context, id ids.ID) (bool, error) {
+	resp, err := c.call(ctx, id, &msg.DHTDeleteReq{ID: id})
+	if err != nil {
+		return false, err
+	}
+	dr, ok := resp.(*msg.DHTDeleteResp)
+	if !ok {
+		return false, fmt.Errorf("dht: unexpected response %T", resp)
+	}
+	return dr.Deleted, nil
 }
 
 // GetID fetches the value at ring position id.

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"p2pltr/internal/core"
+	"p2pltr/internal/ids"
+	"p2pltr/internal/metrics"
+	"p2pltr/internal/ringtest"
+)
+
+// RunE9 measures the checkpoint subsystem (DESIGN: snapshot layer): a
+// replica cold-joining a long-lived document under churn must catch up
+// from the newest checkpoint plus the log tail — patch fetches bounded
+// by the checkpoint interval instead of the document's whole history —
+// and checkpoint-gated truncation must reclaim Log-Peer storage without
+// breaking the live protocol.
+func RunE9(cfg Config) error {
+	peers, patches, interval := 12, 90, uint64(16)
+	if cfg.Quick {
+		peers, patches, interval = 8, 42, uint64(8)
+	}
+	key := "ckpt-churn-doc"
+	tbl := metrics.NewTable("mode", "patches", "join-fetches", "bootstraps", "join-time",
+		"log-slots", "truncated-to", "slots-after")
+	for _, withCkpt := range []bool{false, true} {
+		mode := "no-checkpoints"
+		opts := ringtest.FastOptions()
+		if withCkpt {
+			mode = fmt.Sprintf("interval=%d", interval)
+			opts.CheckpointInterval = interval
+		}
+		c, err := ringtest.NewCluster(peers, opts)
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+
+		run := func() error {
+			writer := core.NewReplica(c.Peers[0], key, "writer")
+			for i := 0; i < patches; i++ {
+				if err := writer.Insert(0, fmt.Sprintf("line %d", i)); err != nil {
+					return err
+				}
+				if _, err := writer.Commit(ctx); err != nil {
+					return fmt.Errorf("commit %d: %w", i, err)
+				}
+				// Churn mid-history: one crash and one join while the
+				// document grows, so catch-up later runs against a ring
+				// that reorganized since the early patches were logged.
+				// The victim is chosen to leave every published slot at
+				// least one primary replica (a peer owning all n replicas
+				// of a timestamp is beyond the replication factor by
+				// construction — the paper's availability claim does not
+				// cover it, and E6 measures that regime instead).
+				if i == patches/3 {
+					if victim := crashSafeVictim(c, key, uint64(i+1), c.Peers[0]); victim != nil {
+						c.Crash(victim)
+					}
+				}
+				if i == 2*patches/3 {
+					if _, err := c.AddPeer(c.Peers[0]); err != nil {
+						return fmt.Errorf("churn join: %w", err)
+					}
+				}
+			}
+			if err := c.WaitStable(30 * time.Second); err != nil {
+				return err
+			}
+
+			// Cold join: a fresh replica on the youngest live peer.
+			live := c.Live()
+			joiner := core.NewReplica(live[len(live)-1], key, "joiner")
+			start := time.Now()
+			if err := joiner.Pull(ctx); err != nil {
+				return fmt.Errorf("cold join: %w", err)
+			}
+			joinTime := time.Since(start)
+			if joiner.Text() != writer.Text() {
+				return fmt.Errorf("joiner diverged from writer")
+			}
+			_, fetched := joiner.Stats()
+			_, boots := joiner.CheckpointStats()
+
+			// The acceptance bound: O(tail) with checkpoints, O(history)
+			// without.
+			if withCkpt && fetched > int64(interval) {
+				return fmt.Errorf("checkpointed cold join fetched %d patches, bound is %d", fetched, interval)
+			}
+			if !withCkpt && fetched != int64(patches) {
+				return fmt.Errorf("baseline cold join fetched %d patches, want %d", fetched, patches)
+			}
+
+			before := countLogSlots(c, key)
+			upTo, _, err := live[0].Ckpt.TruncateLog(ctx, live[0].Log, key)
+			if err != nil {
+				return fmt.Errorf("truncate: %w", err)
+			}
+			after := countLogSlots(c, key)
+			if withCkpt && after.Value() >= before.Value() {
+				return fmt.Errorf("truncation did not reclaim storage: %d -> %d", before.Value(), after.Value())
+			}
+			if !withCkpt && upTo != 0 {
+				return fmt.Errorf("truncated without a checkpoint")
+			}
+
+			// The reclaimed document still serves the live protocol.
+			if err := joiner.Insert(0, "after truncation"); err != nil {
+				return err
+			}
+			if _, err := joiner.Commit(ctx); err != nil {
+				return fmt.Errorf("commit after truncation: %w", err)
+			}
+
+			tbl.AddRow(mode, patches, fetched, boots, joinTime, before.Value(), upTo, after.Value())
+			return nil
+		}
+		err = run()
+		cancel()
+		c.Stop()
+		if err != nil {
+			return fmt.Errorf("E9 (%s): %w", mode, err)
+		}
+	}
+	fmt.Fprint(cfg.Out, tbl.String())
+	fmt.Fprintln(cfg.Out, "shape check: join-fetches drops from N to <= interval with checkpoints; log slots shrink to the tail after truncation")
+	return nil
+}
+
+// crashSafeVictim returns a live peer, other than exclude, whose crash
+// leaves every log slot of key with ts in [1, upTo] at least one
+// replica on another live peer; nil when the hash placement is too
+// concentrated to crash anyone safely.
+func crashSafeVictim(c *ringtest.Cluster, key string, upTo uint64, exclude *core.Peer) *core.Peer {
+	replicas := exclude.Log.Replicas()
+	live := c.Live()
+	for i := len(live) - 1; i >= 0; i-- {
+		cand := live[i]
+		if cand == exclude {
+			continue
+		}
+		safe := true
+		for ts := uint64(1); ts <= upTo && safe; ts++ {
+			ownsAll := true
+			for r := 0; r < replicas; r++ {
+				if c.MasterOf(uint64(ids.ReplicaHash(r, key, ts))) != cand {
+					ownsAll = false
+					break
+				}
+			}
+			if ownsAll {
+				safe = false
+			}
+		}
+		if safe {
+			return cand
+		}
+	}
+	return nil
+}
+
+// countLogSlots counts the P2P-Log slot replicas of key stored across
+// the live peers' primary stores (the Log-Peer storage the checkpoint
+// subsystem reclaims).
+func countLogSlots(c *ringtest.Cluster, key string) *metrics.Counter {
+	prefix := "log/" + key + "/"
+	var n metrics.Counter
+	for _, p := range c.Live() {
+		for _, e := range p.DHT.Store().SnapshotAll() {
+			if strings.HasPrefix(e.Key, prefix) {
+				n.Add(1)
+			}
+		}
+	}
+	return &n
+}

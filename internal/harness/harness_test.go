@@ -12,8 +12,8 @@ func quickCfg() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 9 {
-		t.Fatalf("have %d experiments, want 9", len(exps))
+	if len(exps) != 10 {
+		t.Fatalf("have %d experiments, want 10", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -48,6 +48,7 @@ func TestE4(t *testing.T) { runExperiment(t, "E4", "masters-moved") }
 func TestE5(t *testing.T) { runExperiment(t, "E5", "mean-hops") }
 func TestE6(t *testing.T) { runExperiment(t, "E6", "availability%") }
 func TestE7(t *testing.T) { runExperiment(t, "E7", "P2P-LTR") }
+func TestE9(t *testing.T) { runExperiment(t, "E9", "join-fetches") }
 
 // TestE8EventualConsistencyUnderChurn is the headline soak (DESIGN.md E8).
 func TestE8EventualConsistencyUnderChurn(t *testing.T) {

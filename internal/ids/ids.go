@@ -57,6 +57,24 @@ func ReplicaHash(i int, key string, ts uint64) ID {
 	return Hash([]byte("p2pltr/log\x00" + strconv.Itoa(i) + "\x00" + key + "\x00" + string(buf[:])))
 }
 
+// CheckpointHash is hci from the checkpoint replication family Hc: the
+// ring positions hc1(k,ts) … hcn(k,ts) where the write-once document
+// snapshot taken at timestamp ts is replicated. It is namespaced apart
+// from Hr so checkpoints and log slots never collide.
+func CheckpointHash(i int, key string, ts uint64) ID {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], ts)
+	return Hash([]byte("p2pltr/ckpt\x00" + strconv.Itoa(i) + "\x00" + key + "\x00" + string(buf[:])))
+}
+
+// CheckpointPtrHash locates the i-th replica of the mutable
+// "latest checkpoint pointer" record of a document key. Unlike log and
+// checkpoint slots it does not hash the timestamp: the pointer is
+// overwritten in timestamp order by the KTS master.
+func CheckpointPtrHash(i int, key string) ID {
+	return Hash([]byte("p2pltr/ckptptr\x00" + strconv.Itoa(i) + "\x00" + key))
+}
+
 // String renders the ID as fixed-width hexadecimal.
 func (x ID) String() string { return fmt.Sprintf("%016x", uint64(x)) }
 

@@ -34,8 +34,10 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 
+	"p2pltr/internal/checkpoint"
 	"p2pltr/internal/chord"
 	"p2pltr/internal/ids"
 	"p2pltr/internal/msg"
@@ -56,12 +58,24 @@ var ErrAheadOfLog = errors.New("kts: client timestamp ahead of the log")
 type entry struct {
 	mu     sync.Mutex
 	lastTS uint64
+	// ckptTS is the latest checkpoint pointer for the key (0 = none).
+	// It only moves forward, and only through the master, so checkpoint
+	// pointers are updated in timestamp order.
+	ckptTS uint64
+	// synced marks an entry this node has verified against the
+	// authoritative DHT record (by granting, recovering, or an explicit
+	// log walk). Replica entries installed by ReplicateTS or state
+	// transfer are NOT synced: best-effort replication may have lost the
+	// last grants, so answering authoritatively from them can
+	// under-report after a takeover.
+	synced bool
 }
 
 // Service is the timestamp service mounted on a Chord node.
 type Service struct {
 	ring chord.Ring
 	log  *p2plog.Log
+	ckpt *checkpoint.Store // nil until SetCheckpointStore
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -78,6 +92,11 @@ type Service struct {
 func NewService(ring chord.Ring, log *p2plog.Log) *Service {
 	return &Service{ring: ring, log: log, entries: make(map[string]*entry)}
 }
+
+// SetCheckpointStore wires the checkpoint layer: the service then accepts
+// checkpoint announcements, maintains the per-key latest-checkpoint
+// pointer, and fast-forwards last-ts recovery across truncated history.
+func (s *Service) SetCheckpointStore(cs *checkpoint.Store) { s.ckpt = cs }
 
 // Name implements chord.Service.
 func (s *Service) Name() string { return ServiceName }
@@ -101,10 +120,13 @@ func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Me
 		resp, err := s.handleValidate(ctx, r)
 		return resp, true, err
 	case *msg.LastTSReq:
-		return s.handleLastTS(r), true, nil
+		return s.handleLastTS(ctx, r), true, nil
 	case *msg.ReplicateTSReq:
 		s.handleReplicate(r)
 		return &msg.Ack{}, true, nil
+	case *msg.CheckpointAnnounceReq:
+		resp, err := s.handleAnnounce(ctx, r)
+		return resp, true, err
 	}
 	return nil, false, nil
 }
@@ -121,6 +143,14 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
+	if !e.synced {
+		// First grant since this node became (or believes itself) master:
+		// verify the replica state against the authoritative write-once
+		// record before granting on top of it.
+		if err := s.syncFromLogLocked(ctx, r.Key, e); err != nil {
+			return nil, err
+		}
+	}
 	if r.TS > e.lastTS {
 		// The client knows more than we do: we lost state (e.g. both the
 		// master and its successor were replaced). Recover from the log,
@@ -131,7 +161,7 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 	}
 	if r.TS < e.lastTS {
 		s.bumpRejects()
-		return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: e.lastTS}, nil
+		return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: e.lastTS, CkptTS: e.ckptTS}, nil
 	}
 
 	// gen_ts: continuous timestamping.
@@ -148,9 +178,9 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 			// timestamp with a different patch. Converge on the log:
 			// fast-forward and tell the caller to retrieve.
 			e.lastTS = newTS
-			s.replicateToSucc(ctx, r.Key, tsID, e.lastTS)
+			s.replicateToSucc(ctx, r.Key, tsID, e)
 			s.bumpRejects()
-			return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: e.lastTS}, nil
+			return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: e.lastTS, CkptTS: e.ckptTS}, nil
 		}
 		return nil, fmt.Errorf("kts: publish (%s,%d): %w", r.Key, newTS, err)
 	}
@@ -159,56 +189,124 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 	// Replicate last-ts at the Master-key-Succ, then commit locally and
 	// acknowledge the user with the validated timestamp.
 	e.lastTS = newTS
-	s.replicateToSucc(ctx, r.Key, tsID, newTS)
+	e.synced = true
+	s.replicateToSucc(ctx, r.Key, tsID, e)
 	s.bumpGrants()
-	return &msg.ValidateResp{Status: msg.ValidateOK, ValidatedTS: newTS, LastTS: newTS}, nil
+	return &msg.ValidateResp{Status: msg.ValidateOK, ValidatedTS: newTS, LastTS: newTS, CkptTS: e.ckptTS}, nil
 }
 
-// recoverFromLog advances e.lastTS as far as the log proves timestamps
-// were granted, at least to target. Called with e.mu held.
-func (s *Service) recoverFromLog(ctx context.Context, key string, e *entry, target uint64) error {
-	for e.lastTS < target {
-		ok, err := s.log.Exists(ctx, key, e.lastTS+1)
+// syncFromLogLocked brings e to the authoritative state recorded in the
+// DHT: the latest checkpoint pointer first (it fast-forwards past any
+// truncated prefix), then a walk of the write-once log to its end. On
+// success the entry is marked synced: this node may answer for it
+// authoritatively until it loses mastership. Called with e.mu held.
+func (s *Service) syncFromLogLocked(ctx context.Context, key string, e *entry) error {
+	if s.ckpt != nil {
+		ptr, err := s.ckpt.LatestPointer(ctx, key)
 		if err != nil {
-			return fmt.Errorf("kts: recovering last-ts for %s: %w", key, err)
+			return fmt.Errorf("kts: checkpoint pointer for %s: %w", key, err)
 		}
-		if !ok {
-			return fmt.Errorf("%w: key %s, claimed ts %d, log ends at %d",
-				ErrAheadOfLog, key, target, e.lastTS)
+		if ptr > e.ckptTS {
+			e.ckptTS = ptr
 		}
-		e.lastTS++
+		if ptr > e.lastTS {
+			e.lastTS = ptr
+		}
 	}
-	// Opportunistically roll forward past target too, in case more
-	// patches were committed by the previous incarnation.
 	for {
 		ok, err := s.log.Exists(ctx, key, e.lastTS+1)
-		if err != nil || !ok {
-			return nil
+		if err != nil {
+			return fmt.Errorf("kts: syncing last-ts for %s: %w", key, err)
+		}
+		if !ok {
+			break
 		}
 		e.lastTS++
 	}
+	e.synced = true
+	return nil
 }
 
-// handleLastTS implements last_ts(key).
-func (s *Service) handleLastTS(r *msg.LastTSReq) *msg.LastTSResp {
+// recoverFromLog advances e.lastTS as far as the checkpoint pointer and
+// the log prove timestamps were granted; the claimed target must be
+// covered or the client's state is corrupt. Called with e.mu held.
+func (s *Service) recoverFromLog(ctx context.Context, key string, e *entry, target uint64) error {
+	if err := s.syncFromLogLocked(ctx, key, e); err != nil {
+		return err
+	}
+	if e.lastTS < target {
+		return fmt.Errorf("%w: key %s, claimed ts %d, log ends at %d",
+			ErrAheadOfLog, key, target, e.lastTS)
+	}
+	return nil
+}
+
+// handleLastTS implements last_ts(key). A master answering for the first
+// time since taking over verifies its replica state against the log, so
+// pullers never observe an under-reported last-ts after failover.
+func (s *Service) handleLastTS(ctx context.Context, r *msg.LastTSReq) *msg.LastTSResp {
 	tsID := ids.HashTS(r.Key)
 	if !s.ring.Owns(tsID) {
 		return &msg.LastTSResp{NotMaster: true}
 	}
-	s.mu.Lock()
-	e, ok := s.entries[r.Key]
-	s.mu.Unlock()
-	if !ok {
-		return &msg.LastTSResp{LastTS: 0, Known: false}
-	}
+	e := s.entryFor(r.Key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return &msg.LastTSResp{LastTS: e.lastTS, Known: true}
+	if !e.synced {
+		// Best-effort: an unreachable log means answering from the
+		// replica value, which is still monotone — just possibly stale.
+		_ = s.syncFromLogLocked(ctx, r.Key, e)
+	}
+	return &msg.LastTSResp{LastTS: e.lastTS, Known: e.lastTS > 0, CkptTS: e.ckptTS}
+}
+
+// handleAnnounce installs a freshly published checkpoint as the key's
+// latest checkpoint pointer. Serializing announcements under the per-key
+// mutex (and refusing regressions) keeps the pointer moving strictly
+// forward in timestamp order.
+func (s *Service) handleAnnounce(ctx context.Context, r *msg.CheckpointAnnounceReq) (msg.Message, error) {
+	tsID := ids.HashTS(r.Key)
+	if !s.ring.Owns(tsID) {
+		return &msg.CheckpointAnnounceResp{NotMaster: true}, nil
+	}
+	e := s.entryFor(r.Key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r.TS <= e.ckptTS {
+		return &msg.CheckpointAnnounceResp{Accepted: false, CkptTS: e.ckptTS}, nil
+	}
+	if r.TS > e.lastTS {
+		// A checkpoint can only cover granted history; sync and re-check.
+		if err := s.syncFromLogLocked(ctx, r.Key, e); err != nil {
+			return nil, err
+		}
+		if r.TS > e.lastTS {
+			return &msg.CheckpointAnnounceResp{Accepted: false, CkptTS: e.ckptTS}, nil
+		}
+	}
+	if s.ckpt != nil {
+		// The pointer is a promise that bootstrap will succeed: the
+		// snapshot must be retrievable before the pointer moves.
+		if _, err := s.ckpt.Fetch(ctx, r.Key, r.TS); err != nil {
+			return nil, fmt.Errorf("kts: announced checkpoint unreadable: %w", err)
+		}
+		e.ckptTS = r.TS
+		// Pointer records are advisory replicas of e.ckptTS; a failed
+		// write heals on the next announce or Maintain pass.
+		_ = s.ckpt.WritePointer(ctx, r.Key, r.TS)
+	} else {
+		e.ckptTS = r.TS
+	}
+	s.replicateToSucc(ctx, r.Key, tsID, e)
+	return &msg.CheckpointAnnounceResp{Accepted: true, CkptTS: e.ckptTS}, nil
 }
 
 // handleReplicate installs a last-ts replica pushed by the current
 // master. Values only move forward, so stale or reordered replications
-// are harmless.
+// are harmless. The push proves another node is granting for this key,
+// so any authority this node earned as a past master is void: the entry
+// drops back to unsynced and re-verifies against the log if this node
+// is promoted again (best-effort pushes may have missed the last grants).
 func (s *Service) handleReplicate(r *msg.ReplicateTSReq) {
 	e := s.entryFor(r.Key)
 	e.mu.Lock()
@@ -216,18 +314,23 @@ func (s *Service) handleReplicate(r *msg.ReplicateTSReq) {
 	if r.LastTS > e.lastTS {
 		e.lastTS = r.LastTS
 	}
+	if r.CkptTS > e.ckptTS {
+		e.ckptTS = r.CkptTS
+	}
+	e.synced = false
 }
 
-// replicateToSucc pushes last-ts to the Master-key-Succ. Failure is
-// tolerated: the write-once log allows full recovery, and the next grant
-// retries the replication anyway.
-func (s *Service) replicateToSucc(ctx context.Context, key string, tsID ids.ID, lastTS uint64) {
+// replicateToSucc pushes the entry's last-ts and checkpoint pointer to
+// the Master-key-Succ. Failure is tolerated: the write-once log allows
+// full recovery, and the next grant retries the replication anyway.
+// Called with e.mu held.
+func (s *Service) replicateToSucc(ctx context.Context, key string, tsID ids.ID, e *entry) {
 	succ := s.ring.Successor()
 	if succ.IsZero() || succ.ID == s.ring.Ref().ID {
 		return
 	}
 	_, _ = s.ring.Call(ctx, transport.Addr(succ.Addr), &msg.ReplicateTSReq{
-		Key: key, TSID: tsID, LastTS: lastTS,
+		Key: key, TSID: tsID, LastTS: e.lastTS, CkptTS: e.ckptTS,
 	})
 }
 
@@ -254,13 +357,13 @@ func (s *Service) Maintain(ctx context.Context) {
 		}
 	}
 	s.mu.Unlock()
-	for _, e := range owned {
-		last, ok := s.LastTSLocal(e.key)
-		if !ok {
-			continue
-		}
+	for _, kv := range owned {
+		e := s.entryFor(kv.key)
+		e.mu.Lock()
+		last, ckpt := e.lastTS, e.ckptTS
+		e.mu.Unlock()
 		_, _ = s.ring.Call(ctx, transport.Addr(succ.Addr), &msg.ReplicateTSReq{
-			Key: e.key, TSID: e.tsID, LastTS: last,
+			Key: kv.key, TSID: kv.tsID, LastTS: last, CkptTS: ckpt,
 		})
 	}
 }
@@ -284,9 +387,9 @@ func (s *Service) ExportOutside(newPred, self ids.ID) []msg.StateItem {
 			continue
 		}
 		e.mu.Lock()
-		last := e.lastTS
+		last, ckpt := e.lastTS, e.ckptTS
 		e.mu.Unlock()
-		items = append(items, stateItem(key, tsID, last))
+		items = append(items, stateItem(key, tsID, last, ckpt))
 	}
 	return items
 }
@@ -299,9 +402,9 @@ func (s *Service) ExportAll() []msg.StateItem {
 	items := make([]msg.StateItem, 0, len(s.entries))
 	for key, e := range s.entries {
 		e.mu.Lock()
-		last := e.lastTS
+		last, ckpt := e.lastTS, e.ckptTS
 		e.mu.Unlock()
-		items = append(items, stateItem(key, ids.HashTS(key), last))
+		items = append(items, stateItem(key, ids.HashTS(key), last, ckpt))
 	}
 	return items
 }
@@ -310,7 +413,7 @@ func (s *Service) ExportAll() []msg.StateItem {
 // merging monotonically with any replica already present.
 func (s *Service) Import(items []msg.StateItem) {
 	for _, it := range items {
-		last, err := strconv.ParseUint(string(it.Value), 10, 64)
+		last, ckpt, err := parseStateValue(string(it.Value))
 		if err != nil {
 			continue // malformed item; the log can still recover it
 		}
@@ -319,6 +422,12 @@ func (s *Service) Import(items []msg.StateItem) {
 		if last > e.lastTS {
 			e.lastTS = last
 		}
+		if ckpt > e.ckptTS {
+			e.ckptTS = ckpt
+		}
+		// Transferred state is another node's view; verify against the
+		// log before answering for it authoritatively.
+		e.synced = false
 		e.mu.Unlock()
 	}
 	s.statsMu.Lock()
@@ -326,13 +435,29 @@ func (s *Service) Import(items []msg.StateItem) {
 	s.statsMu.Unlock()
 }
 
-func stateItem(key string, tsID ids.ID, lastTS uint64) msg.StateItem {
+func stateItem(key string, tsID ids.ID, lastTS, ckptTS uint64) msg.StateItem {
 	return msg.StateItem{
 		Service: ServiceName,
 		Key:     key,
 		ID:      tsID,
-		Value:   []byte(strconv.FormatUint(lastTS, 10)),
+		Value:   []byte(strconv.FormatUint(lastTS, 10) + "/" + strconv.FormatUint(ckptTS, 10)),
 	}
+}
+
+// parseStateValue decodes a transferred "lastTS/ckptTS" value; a bare
+// integer (no checkpoint pointer) is accepted for robustness.
+func parseStateValue(v string) (lastTS, ckptTS uint64, err error) {
+	lastPart, ckptPart, found := strings.Cut(v, "/")
+	if lastTS, err = strconv.ParseUint(lastPart, 10, 64); err != nil {
+		return 0, 0, err
+	}
+	if !found {
+		return lastTS, 0, nil
+	}
+	if ckptTS, err = strconv.ParseUint(ckptPart, 10, 64); err != nil {
+		return 0, 0, err
+	}
+	return lastTS, ckptTS, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -350,6 +475,20 @@ func (s *Service) LastTSLocal(key string) (uint64, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.lastTS, true
+}
+
+// CheckpointTSLocal returns the locally known latest-checkpoint pointer
+// for key (primary or replica) without any ownership check.
+func (s *Service) CheckpointTSLocal(key string) (uint64, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ckptTS, true
 }
 
 // KeysHeld returns the document keys this node holds timestamp state for

@@ -157,6 +157,27 @@ type DHTGetResp struct {
 	Value []byte
 }
 
+// DHTDeleteReq removes the slot at ring position ID from the responsible
+// peer (and, via a replica delete, from its successor's copy set). The
+// checkpoint layer uses it to truncate P2P-Log slots whose timestamps are
+// covered by a fully-replicated checkpoint; the write-once invariant is
+// preserved for the live tail because truncation never reaches past the
+// latest checkpoint.
+type DHTDeleteReq struct {
+	ID ids.ID
+}
+
+// DHTDeleteResp reports whether a slot existed and was removed.
+type DHTDeleteResp struct {
+	Deleted bool
+}
+
+// DHTReplicaDeleteReq is pushed by a slot's owner to its successor after
+// a delete, so stale successor copies cannot resurrect truncated slots.
+type DHTReplicaDeleteReq struct {
+	IDs []ids.ID
+}
+
 // ---------------------------------------------------------------------------
 // KTS timestamp service RPCs (gen_ts / last_ts / validate-and-publish).
 
@@ -207,6 +228,10 @@ type ValidateResp struct {
 	Status      ValidateStatus
 	ValidatedTS uint64 // set when Status == ValidateOK
 	LastTS      uint64 // master's last-ts, always set when master
+	// CkptTS is the newest checkpoint timestamp the master knows for the
+	// key (0 = none). Piggybacking it on every validation ack lets user
+	// peers learn of newer checkpoints for free.
+	CkptTS uint64
 }
 
 // LastTSReq implements last_ts(key).
@@ -221,6 +246,10 @@ type LastTSResp struct {
 	Known  bool
 	// NotMaster mirrors ValidateNotMaster for this RPC.
 	NotMaster bool
+	// CkptTS is the newest checkpoint timestamp for the key (0 = none);
+	// a puller whose committed prefix is older bootstraps from the
+	// checkpoint plus the log tail instead of replaying from 1.
+	CkptTS uint64
 }
 
 // ReplicateTSReq is sent by the Master-key to its Master-Succ after each
@@ -229,6 +258,25 @@ type ReplicateTSReq struct {
 	Key    string
 	TSID   ids.ID // ht(Key), the ring position governing responsibility
 	LastTS uint64
+	// CkptTS rides along so a takeover also knows the latest checkpoint.
+	CkptTS uint64
+}
+
+// CheckpointAnnounceReq registers a freshly published checkpoint with the
+// Master-key of Key. Routing announcements through the master serializes
+// pointer updates per key (the per-key validation mutex), so the latest
+// checkpoint pointer only ever moves forward in timestamp order.
+type CheckpointAnnounceReq struct {
+	Key string
+	TS  uint64
+}
+
+// CheckpointAnnounceResp is the master's decision on an announcement.
+// CkptTS is the pointer after the call (>= TS when accepted).
+type CheckpointAnnounceResp struct {
+	Accepted  bool
+	CkptTS    uint64
+	NotMaster bool
 }
 
 // The P2P-Log needs no dedicated RPCs: its write-once replica slots are
@@ -254,11 +302,17 @@ func (DHTPutResp) Kind() string        { return "dht.put.resp" }
 func (DHTReplicaPutReq) Kind() string  { return "dht.replica_put.req" }
 func (DHTGetReq) Kind() string         { return "dht.get.req" }
 func (DHTGetResp) Kind() string        { return "dht.get.resp" }
-func (ValidateReq) Kind() string       { return "kts.validate.req" }
-func (ValidateResp) Kind() string      { return "kts.validate.resp" }
-func (LastTSReq) Kind() string         { return "kts.last_ts.req" }
-func (LastTSResp) Kind() string        { return "kts.last_ts.resp" }
-func (ReplicateTSReq) Kind() string    { return "kts.replicate.req" }
+func (DHTDeleteReq) Kind() string      { return "dht.delete.req" }
+func (DHTDeleteResp) Kind() string     { return "dht.delete.resp" }
+
+func (DHTReplicaDeleteReq) Kind() string    { return "dht.replica_delete.req" }
+func (ValidateReq) Kind() string            { return "kts.validate.req" }
+func (ValidateResp) Kind() string           { return "kts.validate.resp" }
+func (LastTSReq) Kind() string              { return "kts.last_ts.req" }
+func (LastTSResp) Kind() string             { return "kts.last_ts.resp" }
+func (ReplicateTSReq) Kind() string         { return "kts.replicate.req" }
+func (CheckpointAnnounceReq) Kind() string  { return "kts.ckpt_announce.req" }
+func (CheckpointAnnounceResp) Kind() string { return "kts.ckpt_announce.resp" }
 
 // Register registers every message type with encoding/gob. The TCP
 // transport calls it once; calling it multiple times is harmless.
@@ -277,7 +331,9 @@ func All() []Message {
 		&NotifyReq{}, &PingReq{}, &Ack{},
 		&HandoverReq{}, &HandoverResp{}, &AbsorbReq{}, &StateTransferReq{},
 		&DHTPutReq{}, &DHTPutResp{}, &DHTReplicaPutReq{}, &DHTGetReq{}, &DHTGetResp{},
+		&DHTDeleteReq{}, &DHTDeleteResp{}, &DHTReplicaDeleteReq{},
 		&ValidateReq{}, &ValidateResp{},
 		&LastTSReq{}, &LastTSResp{}, &ReplicateTSReq{},
+		&CheckpointAnnounceReq{}, &CheckpointAnnounceResp{},
 	}
 }

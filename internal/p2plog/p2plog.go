@@ -277,6 +277,40 @@ func (l *Log) FetchRange(ctx context.Context, key string, from, to uint64) ([]Re
 	return out, nil
 }
 
+// Truncate reclaims Log-Peer storage by deleting every replica slot of
+// key with timestamp in [1, upToTS]. Deleted counts the slot replicas
+// that were actually removed somewhere on the ring.
+//
+// Callers MUST only truncate timestamps covered by a fully-replicated
+// checkpoint (see internal/checkpoint, which gates exactly that): the
+// write-once invariant remains intact for the live tail (upToTS, last],
+// which Master-key crash-recovery still walks. Deletion is best-effort
+// per slot — an unreachable Log-Peer keeps its copy and a later Truncate
+// pass reclaims it.
+func (l *Log) Truncate(ctx context.Context, key string, upToTS uint64) (deleted int, err error) {
+	var lastErr error
+	for ts := uint64(1); ts <= upToTS; ts++ {
+		for i := 0; i < l.replicas; i++ {
+			slot := ids.ReplicaHash(i, key, ts)
+			ok, derr := l.c.DeleteID(ctx, slot)
+			if derr != nil {
+				lastErr = derr
+				continue
+			}
+			if ok {
+				deleted++
+			}
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return deleted, cerr
+		}
+	}
+	if lastErr != nil {
+		return deleted, fmt.Errorf("p2plog: truncate %s up to %d: %w", key, upToTS, lastErr)
+	}
+	return deleted, nil
+}
+
 // logSlotKey is the debug name stored alongside a slot.
 func logSlotKey(key string, ts uint64, replica int) string {
 	return fmt.Sprintf("log/%s/%d/r%d", key, ts, replica)

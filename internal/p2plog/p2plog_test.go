@@ -380,3 +380,79 @@ func TestFetchRangeParallelHoleStopsPrefix(t *testing.T) {
 		}
 	}
 }
+
+// TestFetchFallsBackWhenFirstReplicaMissing: retrieval must survive the
+// FIRST Hr replica being gone (not just a middle one) with repair off —
+// this is the path a partially applied Truncate leaves behind, and the
+// one checkpoint-gated truncation must never break for the live tail.
+func TestFetchFallsBackWhenFirstReplicaMissing(t *testing.T) {
+	c := newCluster(t, 6, 3)
+	ctx := context.Background()
+	log := c.Peers[0].Log
+	log.SetReadRepair(false)
+	rec := p2plog.Record{Key: "fb-doc", TS: 1, PatchID: "u#1", Patch: []byte("x")}
+	if _, err := log.Publish(ctx, rec); err != nil {
+		t.Fatal(err)
+	}
+	pos := ids.ReplicaHash(0, "fb-doc", 1)
+	for _, p := range c.Peers {
+		p.DHT.Store().Delete(pos)
+		p.DHT.ReplicaStore().Delete(pos)
+	}
+	reader := c.Peers[4].Log
+	reader.SetReadRepair(false)
+	got, err := reader.Fetch(ctx, "fb-doc", 1)
+	if err != nil {
+		t.Fatalf("fetch with first replica down: %v", err)
+	}
+	if got.PatchID != "u#1" {
+		t.Fatalf("fetched %+v", got)
+	}
+}
+
+// TestTruncatePreservesLiveTail: Truncate removes exactly [1, upToTS];
+// the tail keeps its write-once slots and total-order retrieval.
+func TestTruncatePreservesLiveTail(t *testing.T) {
+	c := newCluster(t, 6, 3)
+	ctx := context.Background()
+	log := c.Peers[0].Log
+	for ts := uint64(1); ts <= 6; ts++ {
+		rec := p2plog.Record{Key: "tr-doc", TS: ts, PatchID: fmt.Sprintf("u#%d", ts), Patch: []byte{byte(ts)}}
+		if _, err := log.Publish(ctx, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted, err := log.Truncate(ctx, "tr-doc", 4)
+	if err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if deleted != 4*log.Replicas() {
+		t.Fatalf("deleted %d slot replicas, want %d", deleted, 4*log.Replicas())
+	}
+	for ts := uint64(1); ts <= 4; ts++ {
+		if ok, err := log.Exists(ctx, "tr-doc", ts); err != nil || ok {
+			t.Fatalf("ts %d survived truncation (ok=%v err=%v)", ts, ok, err)
+		}
+	}
+	recs, err := c.Peers[3].Log.FetchRange(ctx, "tr-doc", 4, 6)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("tail range: %d recs, %v", len(recs), err)
+	}
+	// Retrieval across the truncation boundary correctly refuses: the
+	// hole is real, and total order forbids skipping it.
+	if _, err := log.FetchRange(ctx, "tr-doc", 0, 6); !errors.Is(err, p2plog.ErrMissing) {
+		t.Fatalf("range across truncation: %v", err)
+	}
+	// The truncated slots are gone from every peer's stores (storage
+	// actually reclaimed, not just unreachable).
+	for ts := uint64(1); ts <= 4; ts++ {
+		for i := 0; i < 3; i++ {
+			pos := ids.ReplicaHash(i, "tr-doc", ts)
+			for _, p := range c.Peers {
+				if _, ok := p.DHT.Store().Get(pos); ok {
+					t.Fatalf("primary slot (ts=%d, r=%d) still stored at %s", ts, i, p)
+				}
+			}
+		}
+	}
+}

@@ -57,6 +57,42 @@ func TestPutIfAbsentWriteOnce(t *testing.T) {
 	}
 }
 
+func TestPutIfAbsentEmptyValue(t *testing.T) {
+	// A write-once slot holding empty content is still occupied: only
+	// byte-identical republish is accepted.
+	s := New()
+	if stored, _ := s.PutIfAbsent(5, "k", nil); !stored {
+		t.Fatalf("initial empty put rejected")
+	}
+	if stored, _ := s.PutIfAbsent(5, "k", nil); !stored {
+		t.Fatalf("idempotent empty republish rejected")
+	}
+	if stored, _ := s.PutIfAbsent(5, "k", []byte("x")); stored {
+		t.Fatalf("occupied empty slot overwritten")
+	}
+}
+
+func TestWriteOnceAfterDeleteAllowsRewrite(t *testing.T) {
+	// Deleting a slot forfeits its write-once guarantee: a subsequent
+	// PutIfAbsent with different content succeeds. This is exactly why
+	// log truncation must be gated on a fully-replicated checkpoint — the
+	// reclaimed timestamps are no longer protected by the store.
+	s := New()
+	if stored, _ := s.PutIfAbsent(7, "k", []byte("first")); !stored {
+		t.Fatalf("initial put rejected")
+	}
+	if !s.Delete(7) {
+		t.Fatalf("delete failed")
+	}
+	stored, existing := s.PutIfAbsent(7, "k", []byte("second"))
+	if !stored || existing != nil {
+		t.Fatalf("rewrite after delete: stored=%v existing=%q", stored, existing)
+	}
+	if v, _ := s.Get(7); string(v) != "second" {
+		t.Fatalf("slot holds %q", v)
+	}
+}
+
 func TestValueIsolation(t *testing.T) {
 	s := New()
 	buf := []byte("abc")
