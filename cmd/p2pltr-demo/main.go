@@ -6,7 +6,7 @@
 // Usage:
 //
 //	p2pltr-demo                 # all scenarios
-//	p2pltr-demo -s timestamps   # one of: timestamps, concurrent, departure, join, checkpoint
+//	p2pltr-demo -s timestamps   # one of: timestamps, concurrent, departure, join, checkpoint, maintain
 package main
 
 import (
@@ -20,11 +20,13 @@ import (
 
 	"p2pltr/internal/core"
 	"p2pltr/internal/ids"
+	"p2pltr/internal/maintain"
+	"p2pltr/internal/metrics"
 	"p2pltr/internal/ringtest"
 )
 
 func main() {
-	scenario := flag.String("s", "all", "scenario: timestamps | concurrent | departure | join | checkpoint | all")
+	scenario := flag.String("s", "all", "scenario: timestamps | concurrent | departure | join | checkpoint | maintain | all")
 	peers := flag.Int("peers", 8, "ring size")
 	flag.Parse()
 
@@ -34,8 +36,9 @@ func main() {
 		"departure":  demoDeparture,
 		"join":       demoJoin,
 		"checkpoint": demoCheckpoint,
+		"maintain":   demoMaintain,
 	}
-	order := []string{"timestamps", "concurrent", "departure", "join", "checkpoint"}
+	order := []string{"timestamps", "concurrent", "departure", "join", "checkpoint", "maintain"}
 
 	run := func(name string) {
 		fmt.Printf("\n══ Scenario %q ══\n", name)
@@ -263,6 +266,21 @@ func demoJoin(n int) error {
 	return nil
 }
 
+// countLogSlots counts the P2P-Log slot replicas of doc stored across
+// the live peers' primary stores (the storage truncation reclaims).
+func countLogSlots(c *ringtest.Cluster, doc string) int {
+	count := 0
+	prefix := "log/" + doc + "/"
+	for _, p := range c.Live() {
+		for _, e := range p.DHT.Store().SnapshotAll() {
+			if strings.HasPrefix(e.Key, prefix) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
 // demoCheckpoint shows the snapshot layer beyond the paper: periodic
 // DHT-resident checkpoints bound a joining replica's catch-up to the log
 // tail, and checkpoint-gated truncation reclaims Log-Peer storage.
@@ -304,25 +322,13 @@ func demoCheckpoint(n int) error {
 	fmt.Printf("  cold join at ts=%d: bootstrapped from %d checkpoint, fetched %d tail patches (vs %d without checkpoints) ✓\n",
 		joiner.CommittedTS(), boots, fetched, patches)
 
-	slots := func() int {
-		count := 0
-		prefix := "log/" + doc + "/"
-		for _, p := range c.Live() {
-			for _, e := range p.DHT.Store().SnapshotAll() {
-				if strings.HasPrefix(e.Key, prefix) {
-					count++
-				}
-			}
-		}
-		return count
-	}
-	before := slots()
+	before := countLogSlots(c, doc)
 	upTo, _, err := c.Peers[0].Ckpt.TruncateLog(ctx, c.Peers[0].Log, doc)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("  log truncated up to ts=%d (gated on a fully-replicated checkpoint)\n", upTo)
-	fmt.Printf("  Log-Peer slot replicas: %d -> %d (storage reclaimed ✓)\n", before, slots())
+	fmt.Printf("  Log-Peer slot replicas: %d -> %d (storage reclaimed ✓)\n", before, countLogSlots(c, doc))
 
 	if err := joiner.Insert(0, "life goes on"); err != nil {
 		return err
@@ -332,5 +338,81 @@ func demoCheckpoint(n int) error {
 		return err
 	}
 	fmt.Printf("  next patch validated at ts=%d — live tail untouched, continuity preserved ✓\n", ts)
+	return nil
+}
+
+// demoMaintain shows the self-healing maintenance engine: every boundary
+// author dies before snapshotting and nobody calls TruncateLog, yet the
+// master's background anti-entropy produces the missed checkpoints and
+// reclaims the covered log on its own.
+func demoMaintain(n int) error {
+	const interval = 8
+	fmt.Printf("building a %d-peer DHT ring (checkpoint interval %d, maintenance on)...\n", n, interval)
+	opts := ringtest.FastOptions()
+	opts.CheckpointInterval = interval
+	opts.Maintain = &maintain.Config{TruncateEvery: 50 * time.Millisecond}
+	c, err := ringtest.NewCluster(n, opts)
+	if err != nil {
+		return err
+	}
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	doc := "Main.WebHome"
+	author := core.NewReplica(c.Peers[0], doc, "doomed-author")
+	author.SetCheckpointProduction(false) // dies right after each boundary commit
+	const patches = 2*interval + 4
+	fmt.Printf("  committing %d patches; the author dies at every checkpoint boundary (no snapshots)...\n", patches)
+	for i := 0; i < patches; i++ {
+		if err := author.Insert(0, fmt.Sprintf("revision %d", i+1)); err != nil {
+			return err
+		}
+		if _, err := author.Commit(ctx); err != nil {
+			return err
+		}
+	}
+	published, _ := author.CheckpointStats()
+	fmt.Printf("  author published %d checkpoints — both boundaries missed\n", published)
+
+	fmt.Println("  waiting for the master's maintenance engine...")
+	deadline := time.Now().Add(15 * time.Second)
+	var ptr uint64
+	for time.Now().Before(deadline) {
+		if ptr, err = c.Peers[0].Ckpt.LatestPointer(ctx, doc); err == nil && ptr >= 2*interval {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if ptr < 2*interval {
+		return fmt.Errorf("maintenance never produced the missed checkpoints (pointer %d, want %d)", ptr, 2*interval)
+	}
+	fmt.Printf("  latest checkpoint pointer: ts=%d (fallback-produced, no author involved ✓)\n", ptr)
+
+	tailBound := (patches - int(ptr)) * c.Peers[0].Log.Replicas()
+	deadline = time.Now().Add(15 * time.Second)
+	for countLogSlots(c, doc) > tailBound && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := countLogSlots(c, doc); got > tailBound {
+		return fmt.Errorf("auto-truncation left %d log slot replicas (tail bound %d)", got, tailBound)
+	}
+	fmt.Printf("  Log-Peer slot replicas: %d — covered prefix auto-truncated, nobody called TruncateLog ✓\n", countLogSlots(c, doc))
+
+	agg := metrics.NewFamily()
+	for _, p := range c.Peers {
+		if p.Maint != nil {
+			agg.Merge(p.Maint.Counters())
+		}
+	}
+	fmt.Printf("  maintenance counters: %s\n", agg)
+
+	joiner := core.NewReplica(c.Peers[n/2], doc, "joiner")
+	if err := joiner.Pull(ctx); err != nil {
+		return err
+	}
+	_, fetched := joiner.Stats()
+	fmt.Printf("  cold join at ts=%d fetched %d tail patches (vs %d without the fallback checkpoints) ✓\n",
+		joiner.CommittedTS(), fetched, patches)
 	return nil
 }

@@ -27,17 +27,21 @@ import (
 
 	"p2pltr/internal/chord"
 	"p2pltr/internal/core"
+	"p2pltr/internal/maintain"
 	"p2pltr/internal/transport"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
-		join   = flag.String("join", "", "bootstrap address of an existing ring member (empty = create a new ring)")
-		doc    = flag.String("doc", "", "optionally edit this document key")
-		site   = flag.String("site", "node", "site identity for edits")
-		edits  = flag.Int("edits", 0, "number of scripted edits to commit on -doc")
-		status = flag.Duration("status", 5*time.Second, "status print interval (0 = off)")
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+		join      = flag.String("join", "", "bootstrap address of an existing ring member (empty = create a new ring)")
+		doc       = flag.String("doc", "", "optionally edit this document key")
+		site      = flag.String("site", "node", "site identity for edits")
+		edits     = flag.Int("edits", 0, "number of scripted edits to commit on -doc")
+		status    = flag.Duration("status", 5*time.Second, "status print interval (0 = off)")
+		ckptEvery = flag.Uint64("checkpoint-interval", 0, "snapshot documents every N committed patches (0 = off)")
+		doMaint   = flag.Bool("maintain", false, "run the self-healing maintenance engine for mastered keys")
+		truncGap  = flag.Duration("truncate-every", maintain.DefaultTruncateEvery, "minimum spacing between automatic log truncations per key (with -maintain)")
 	)
 	flag.Parse()
 
@@ -45,7 +49,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	peer := core.NewPeer(ep, core.Options{Chord: chord.DefaultConfig()})
+	opts := core.Options{Chord: chord.DefaultConfig(), CheckpointInterval: *ckptEvery}
+	if *doMaint {
+		if *ckptEvery == 0 {
+			fmt.Fprintln(os.Stderr, "warning: -maintain without -checkpoint-interval: fallback checkpoint production is disabled; the engine only repairs and truncates checkpoints other nodes produce")
+		}
+		opts.Maintain = &maintain.Config{TruncateEvery: *truncGap}
+	}
+	peer := core.NewPeer(ep, opts)
 	fmt.Printf("p2pltr-node listening on %s (ring id %s)\n", ep.Addr(), peer.Node.ID())
 
 	if *join == "" {
@@ -69,8 +80,14 @@ func main() {
 			t := time.NewTicker(*status)
 			defer t.Stop()
 			for range t.C {
-				fmt.Printf("[status] succ=%s pred=%s stored=%d\n",
+				line := fmt.Sprintf("[status] succ=%s pred=%s stored=%d",
 					peer.Node.Successor(), peer.Node.Predecessor(), peer.DHT.Store().Len())
+				if peer.Maint != nil {
+					if m := peer.Maint.Counters().String(); m != "" {
+						line += " maintain{" + m + "}"
+					}
+				}
+				fmt.Println(line)
 			}
 		}()
 	}

@@ -177,11 +177,12 @@ func (s *Store) Fetch(ctx context.Context, key string, ts uint64) (Checkpoint, e
 	return Checkpoint{}, fmt.Errorf("%w (key=%s ts=%d)", ErrMissing, key, ts)
 }
 
-// FullyReplicated probes every replica slot of (key, ts), repairing the
-// ones observed empty from a found copy, and reports whether all n
-// replicas now hold the snapshot. It is the gate log truncation stands
-// behind: only history covered by a fully-replicated checkpoint may go.
-func (s *Store) FullyReplicated(ctx context.Context, key string, ts uint64) (bool, error) {
+// Repair probes every replica slot of (key, ts) and re-publishes the
+// ones observed empty from a found copy — the anti-entropy pass that
+// restores |Hc| after Log-Peer churn eroded it. It returns how many slots
+// it restored this call and whether the checkpoint is now fully
+// replicated.
+func (s *Store) Repair(ctx context.Context, key string, ts uint64) (repaired int, full bool, err error) {
 	var (
 		enc     []byte
 		missing []int
@@ -190,7 +191,7 @@ func (s *Store) FullyReplicated(ctx context.Context, key string, ts uint64) (boo
 		slot := ids.CheckpointHash(i, key, ts)
 		v, found, err := s.c.GetID(ctx, slot)
 		if err != nil {
-			return false, err
+			return 0, false, err
 		}
 		if !found {
 			missing = append(missing, i)
@@ -201,16 +202,25 @@ func (s *Store) FullyReplicated(ctx context.Context, key string, ts uint64) (boo
 		}
 	}
 	if enc == nil {
-		return false, fmt.Errorf("%w (key=%s ts=%d)", ErrMissing, key, ts)
+		return 0, false, fmt.Errorf("%w (key=%s ts=%d)", ErrMissing, key, ts)
 	}
 	for _, i := range missing {
 		slot := ids.CheckpointHash(i, key, ts)
 		ok, _, err := s.c.PutID(ctx, slot, slotKey(key, ts, i), enc, true)
 		if err != nil || !ok {
-			return false, err
+			return repaired, false, err
 		}
+		repaired++
 	}
-	return true, nil
+	return repaired, true, nil
+}
+
+// FullyReplicated repairs (key, ts) and reports whether all n replicas
+// now hold the snapshot. It is the gate log truncation stands behind:
+// only history covered by a fully-replicated checkpoint may go.
+func (s *Store) FullyReplicated(ctx context.Context, key string, ts uint64) (bool, error) {
+	_, full, err := s.Repair(ctx, key, ts)
+	return full, err
 }
 
 // WritePointer replicates the latest-checkpoint pointer of key at the n

@@ -82,6 +82,9 @@ func TestEndToEndOverTCP(t *testing.T) {
 func TestCommitUnderMessageLoss(t *testing.T) {
 	opts := ringtest.FastOptions()
 	opts.ClientAttempts = 12
+	if raceEnabled {
+		opts.ClientAttempts = 30
+	}
 	c, err := ringtest.NewCluster(5, opts, transport.WithDropProb(0, 99))
 	if err != nil {
 		t.Fatal(err)

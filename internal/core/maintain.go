@@ -1,0 +1,22 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// snapshotter adapts the user-replica pull path into the maintain.Puller
+// the engine's fallback checkpoint producer needs: a fresh maintenance
+// replica reconstructs the committed state at exactly ts by bootstrapping
+// from the newest covered checkpoint and replaying the log tail — the
+// same O(interval) cost a cold join pays.
+type snapshotter struct{ peer *Peer }
+
+// SnapshotAt implements maintain.Puller.
+func (s snapshotter) SnapshotAt(ctx context.Context, key string, ts uint64) ([]string, error) {
+	r := NewReplica(s.peer, key, fmt.Sprintf("maintain:%s", s.peer.Addr()))
+	if err := r.PullTo(ctx, ts); err != nil {
+		return nil, err
+	}
+	return r.CommittedLines(), nil
+}

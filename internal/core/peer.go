@@ -18,6 +18,7 @@ import (
 	"p2pltr/internal/chord"
 	"p2pltr/internal/dht"
 	"p2pltr/internal/kts"
+	"p2pltr/internal/maintain"
 	"p2pltr/internal/p2plog"
 	"p2pltr/internal/transport"
 )
@@ -43,6 +44,13 @@ type Options struct {
 	// CheckpointReplicas is |Hc|, the checkpoint replication factor
 	// (defaults to LogReplicas).
 	CheckpointReplicas int
+	// Maintain, when non-nil, mounts the self-healing maintenance engine
+	// on this peer: fallback checkpoint production for boundary authors
+	// that died before snapshotting, re-replication of eroded checkpoint
+	// slots, and rate-limited checkpoint-gated log truncation — all run
+	// from the Chord maintenance tick for keys this peer masters. The
+	// config's Interval defaults to CheckpointInterval.
+	Maintain *maintain.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +86,9 @@ type Peer struct {
 	Client *dht.Client
 	Log    *p2plog.Log
 	Ckpt   *checkpoint.Store
+	// Maint is the self-healing maintenance engine (nil unless
+	// Options.Maintain enabled it).
+	Maint *maintain.Engine
 }
 
 // NewPeer wires a peer onto the given transport endpoint.
@@ -94,6 +105,14 @@ func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 	p.KTS.SetCheckpointStore(p.Ckpt)
 	node.Attach(p.DHT)
 	node.Attach(p.KTS)
+	if opts.Maintain != nil {
+		cfg := *opts.Maintain
+		if cfg.Interval == 0 {
+			cfg.Interval = opts.CheckpointInterval
+		}
+		p.Maint = maintain.NewEngine(cfg, p.KTS, p.Ckpt, p.Log, snapshotter{p})
+		node.Attach(p.Maint)
+	}
 	return p
 }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// Adversity tests widen their retry budgets under its ~10x slowdown: the
+// semi-synchronous call timeouts they stress start expiring on healthy
+// paths, which is instrumentation, not protocol failure.
+const raceEnabled = true

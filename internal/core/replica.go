@@ -11,6 +11,7 @@ import (
 	"p2pltr/internal/ids"
 	"p2pltr/internal/msg"
 	"p2pltr/internal/ot"
+	"p2pltr/internal/p2plog"
 	"p2pltr/internal/patch"
 	"p2pltr/internal/transport"
 	"p2pltr/internal/wal"
@@ -19,6 +20,21 @@ import (
 // ErrMasterUnavailable is returned when the Master-key peer (and every
 // takeover candidate) cannot be reached within the retry budget.
 var ErrMasterUnavailable = errors.New("core: master-key peer unavailable")
+
+// ErrTruncated is returned when a replica holding tentative edits needs
+// committed patches whose log prefix was truncated beneath it: OT needs
+// exactly the intermediate patches the checkpoint skipped, so the replica
+// cannot catch up losslessly. Callers either discard the tentative edits
+// (Pull again after clearing them) or opt into RebaseOntoCheckpoint,
+// which re-anchors them on the checkpoint state at the cost of positional
+// precision.
+var ErrTruncated = errors.New("core: log prefix truncated beneath tentative edits")
+
+// ErrTentativeDropped reports that a checkpoint rebase discarded every
+// remaining tentative op (none could re-anchor on the snapshot), so
+// Commit published nothing. The committed state is nonetheless current —
+// the application decides whether to re-apply the lost edit.
+var ErrTentativeDropped = errors.New("core: rebase dropped all tentative edits; nothing committed")
 
 // Replica is the local primary copy of one document at a user peer.
 //
@@ -49,6 +65,13 @@ type Replica struct {
 	seenCkptTS     uint64
 	ckptPublished  int64
 	ckptBootstraps int64
+	ckptRebases    int64
+	// noCkptProduce suppresses boundary-author snapshot production (the
+	// harness models an author dying right after its boundary commit).
+	noCkptProduce bool
+	// rebaseOnCkpt opts into rebasing tentative edits onto the checkpoint
+	// state when the log prefix beneath them was truncated.
+	rebaseOnCkpt bool
 	// journal, when non-nil, persists snapshots across restarts (see
 	// OpenReplica in persist.go).
 	journal *wal.Log
@@ -124,6 +147,47 @@ func (r *Replica) KnownCheckpointTS() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.seenCkptTS
+}
+
+// Rebases returns how many times this replica rebased tentative edits
+// onto a checkpoint after finding its log prefix truncated.
+func (r *Replica) Rebases() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ckptRebases
+}
+
+// SetCheckpointProduction toggles this replica's boundary-author snapshot
+// production (on by default). The harness turns it off to model an author
+// that dies right after its boundary commit — the liveness gap the
+// maintenance engine's fallback producer closes.
+func (r *Replica) SetCheckpointProduction(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noCkptProduce = !on
+}
+
+// SetRebaseOntoCheckpoint opts this replica into the truncated-prefix
+// recovery policy: when catch-up hits a truncated log prefix while
+// tentative edits are pending (the ErrTruncated condition), the replica
+// installs the checkpoint state and re-anchors the tentative ops onto it
+// by clamping their positions — positional precision is lost, local
+// intent is not. Off by default: the lossless default is to surface
+// ErrTruncated and let the application decide.
+//
+// Known limitation: if this replica's own in-flight patch was already
+// committed by a previous master incarnation (lost ack) AND the prefix
+// holding it was checkpointed and truncated before the retry, the rebase
+// cannot recognize the patch inside the snapshot (the log record that
+// carried its ID is gone) and re-commits the ops — the edit applies
+// twice. The window requires a master crash, a checkpoint boundary and a
+// truncation all inside one retry backoff; deployments that cannot
+// accept it should leave the policy off and handle ErrTruncated
+// explicitly.
+func (r *Replica) SetRebaseOntoCheckpoint(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rebaseOnCkpt = on
 }
 
 func (r *Replica) workingLocked() *patch.Document {
@@ -249,6 +313,18 @@ func (r *Replica) Commit(ctx context.Context) (uint64, error) {
 				}
 				return r.committedTS, nil
 			}
+			if len(r.tentative) == 0 {
+				// A checkpoint rebase dropped every tentative op (e.g.
+				// deletes clamped onto a shorter snapshot): nothing is
+				// left to publish, and committing an empty patch would
+				// burn a total-order timestamp on a no-op revision. The
+				// sentinel tells the caller its edit did NOT commit even
+				// though the replica is consistent and current.
+				if err := r.saveLocked(); err != nil {
+					return r.committedTS, err
+				}
+				return r.committedTS, ErrTentativeDropped
+			}
 			// Rebase the pending patch on the newly integrated commits.
 			p.Ops = append([]patch.Op(nil), r.tentative...)
 			p.BaseTS = r.committedTS
@@ -265,6 +341,51 @@ func (r *Replica) Pull(ctx context.Context) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.pullLocked(ctx)
+}
+
+// PullTo integrates committed history up to exactly target — never past
+// it. The maintenance engine's fallback checkpoint producer uses it to
+// reconstruct the committed state at a missed boundary: bootstrap from
+// the newest checkpoint at or before target, then replay the log tail.
+func (r *Replica) PullTo(ctx context.Context, target uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.committedTS > target {
+		return fmt.Errorf("core: replica of %s already at ts %d, past target %d", r.key, r.committedTS, target)
+	}
+	if len(r.tentative) > 0 {
+		return fmt.Errorf("core: PullTo(%s, %d) with tentative edits pending", r.key, target)
+	}
+	if r.committedTS == target {
+		return nil
+	}
+	ptr, err := r.peer.Ckpt.LatestPointer(ctx, r.key)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint pointer for %s: %w", r.key, err)
+	}
+	if ptr > r.seenCkptTS {
+		r.seenCkptTS = ptr
+	}
+	if ptr > r.committedTS && ptr <= target {
+		if _, err := r.bootstrapFromCheckpointLocked(ctx, ptr); err != nil {
+			return err
+		}
+	}
+	if _, err := r.integrateMissingLocked(ctx, target, ""); err != nil {
+		return err
+	}
+	if r.committedTS != target {
+		return fmt.Errorf("core: pulled %s to ts %d, want %d", r.key, r.committedTS, target)
+	}
+	return r.saveLocked()
+}
+
+// CommittedLines returns a copy of the committed document's lines (the
+// snapshot content a checkpoint of this replica would publish).
+func (r *Replica) CommittedLines() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.committed.Lines()
 }
 
 func (r *Replica) pullLocked(ctx context.Context) error {
@@ -326,6 +447,9 @@ func (r *Replica) bootstrapFromCheckpointLocked(ctx context.Context, ts uint64) 
 // failed publish or announce only costs catch-up time, never
 // correctness, and the next boundary elects a producer again.
 func (r *Replica) maybeCheckpointLocked(ctx context.Context, ts uint64) {
+	if r.noCkptProduce {
+		return
+	}
 	if !checkpoint.ShouldCheckpoint(r.peer.opts.CheckpointInterval, ts) || r.committedTS != ts {
 		return
 	}
@@ -353,10 +477,13 @@ func (r *Replica) maybeCheckpointLocked(ctx context.Context, ts uint64) {
 // republished by a previous master), the local tentative is superseded by
 // the log's version and ownFound is true.
 func (r *Replica) integrateMissingLocked(ctx context.Context, lastTS uint64, ownID string) (ownFound bool, err error) {
-	recs, err := r.peer.Log.FetchRange(ctx, r.key, r.committedTS, lastTS)
-	if err != nil {
-		return false, fmt.Errorf("core: retrieval for %s: %w", r.key, err)
+	if lastTS <= r.committedTS {
+		return false, nil // a checkpoint jump can land past the requested range
 	}
+	recs, ferr := r.peer.Log.FetchRange(ctx, r.key, r.committedTS, lastTS)
+	// FetchRange returns the in-order prefix it resolved even when a later
+	// timestamp is missing; integrate that prefix before classifying the
+	// failure, so committedTS points exactly at the hole.
 	for _, rec := range recs {
 		if rec.TS != r.committedTS+1 {
 			return false, fmt.Errorf("core: total order violated: got ts %d after %d", rec.TS, r.committedTS)
@@ -388,7 +515,107 @@ func (r *Replica) integrateMissingLocked(ctx context.Context, lastTS uint64, own
 		r.integrated[rec.PatchID] = rec.TS
 		r.retrieved++
 	}
-	return ownFound, nil
+	if ferr == nil {
+		return ownFound, nil
+	}
+	if errors.Is(ferr, p2plog.ErrMissing) {
+		// The hole may be a prefix truncated *concurrently* with this
+		// catch-up round, making the horizon piggybacked at its start
+		// stale: re-read the pointer record before deciding.
+		if ptr, perr := r.peer.Ckpt.LatestPointer(ctx, r.key); perr == nil && ptr > r.seenCkptTS {
+			r.seenCkptTS = ptr
+		}
+		if r.committedTS < r.seenCkptTS {
+			// The hole predates the truncation horizon: the prefix was
+			// reclaimed under a fully-replicated checkpoint, not lost.
+			if len(r.tentative) == 0 {
+				// Nothing to transform — jump to the covering checkpoint
+				// and keep integrating the tail.
+				if r.seenCkptTS <= lastTS {
+					jumped, jerr := r.bootstrapFromCheckpointLocked(ctx, r.seenCkptTS)
+					if jerr != nil {
+						return ownFound, jerr
+					}
+					if jumped {
+						own, err := r.integrateMissingLocked(ctx, lastTS, ownID)
+						return ownFound || own, err
+					}
+				}
+			} else {
+				// OT would need exactly the patches truncation removed.
+				if r.rebaseOnCkpt {
+					if err := r.rebaseOntoCheckpointLocked(ctx); err != nil {
+						return ownFound, err
+					}
+					own, err := r.integrateMissingLocked(ctx, lastTS, ownID)
+					return ownFound || own, err
+				}
+				return ownFound, fmt.Errorf("%w: next ts %d of %s predates checkpoint %d (SetRebaseOntoCheckpoint to recover)",
+					ErrTruncated, r.committedTS+1, r.key, r.seenCkptTS)
+			}
+		}
+	}
+	return ownFound, fmt.Errorf("core: retrieval for %s: %w", r.key, ferr)
+}
+
+// rebaseOntoCheckpointLocked is the opt-in truncated-prefix policy:
+// install the checkpointed state as the new committed base and re-anchor
+// the tentative ops onto it by clamping their positions into range. The
+// ROADMAP's stated trade-off — positional precision is lost (the skipped
+// patches can no longer transform the ops), local intent survives.
+func (r *Replica) rebaseOntoCheckpointLocked(ctx context.Context) error {
+	cp, err := r.peer.Ckpt.Fetch(ctx, r.key, r.seenCkptTS)
+	if err != nil {
+		return fmt.Errorf("core: rebasing %s onto checkpoint %d: %w", r.key, r.seenCkptTS, err)
+	}
+	doc := patch.FromLines(cp.Lines)
+	r.tentative = rebaseOps(doc, r.tentative)
+	r.committed = doc
+	r.committedTS = cp.TS
+	r.ckptRebases++
+	return r.compactJournalLocked()
+}
+
+// rebaseOps re-anchors tentative ops onto a new base document: positions
+// are clamped into the base's range and deletes re-capture the line they
+// now target. Ops that still cannot apply (delete on an empty document)
+// are dropped. The returned sequence is applicable by construction, which
+// the working-view invariant requires.
+func rebaseOps(base *patch.Document, ops []patch.Op) []patch.Op {
+	d := base.Clone()
+	out := make([]patch.Op, 0, len(ops))
+	for _, op := range ops {
+		switch op.Kind {
+		case patch.OpInsert:
+			pos := op.Pos
+			if pos > d.Len() {
+				pos = d.Len()
+			}
+			if pos < 0 {
+				pos = 0
+			}
+			op = patch.Op{Kind: patch.OpInsert, Pos: pos, Line: op.Line}
+		case patch.OpDelete:
+			if d.Len() == 0 {
+				continue
+			}
+			pos := op.Pos
+			if pos >= d.Len() {
+				pos = d.Len() - 1
+			}
+			if pos < 0 {
+				pos = 0
+			}
+			op = patch.Op{Kind: patch.OpDelete, Pos: pos, Line: d.Line(pos)}
+		default:
+			continue
+		}
+		if err := d.Apply(op); err != nil {
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------

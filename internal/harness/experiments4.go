@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"p2pltr/internal/core"
+	"p2pltr/internal/maintain"
+	"p2pltr/internal/metrics"
+	"p2pltr/internal/ringtest"
+)
+
+// RunE10 measures the self-healing maintenance subsystem (DESIGN:
+// maintain engine). Every boundary author dies right after its boundary
+// commit — before it can snapshot — and nobody ever calls TruncateLog
+// explicitly. Without maintenance that leaves the two liveness gaps the
+// ROADMAP names: the checkpoint pointer never moves (cold joins pay
+// O(history) forever) and Log-Peer slot occupancy grows without bound.
+// With the engine, the master fallback-produces the missed snapshots
+// (checkpoint lag stays under one interval) and rate-limited
+// auto-truncation keeps slot occupancy at the E9 explicit-truncation
+// level.
+func RunE10(cfg Config) error {
+	peers, boundaries, interval := 10, 4, uint64(8)
+	if cfg.Quick {
+		peers, boundaries, interval = 8, 3, uint64(8)
+	}
+	key := "maintain-doc"
+	tbl := metrics.NewTable("mode", "patches", "ckpt-ptr", "ckpt-lag", "heal-time", "log-slots", "join-fetches")
+	for _, withMaint := range []bool{false, true} {
+		mode := "no-maintenance"
+		opts := ringtest.FastOptions()
+		opts.CheckpointInterval = interval
+		if withMaint {
+			mode = "maintain"
+			opts.Maintain = &maintain.Config{TruncateEvery: 25 * time.Millisecond}
+		}
+		c, err := ringtest.NewCluster(peers, opts)
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+
+		run := func() error {
+			total := uint64(boundaries) * interval
+			var ts uint64
+			var lastText string
+			for b := 0; b < boundaries; b++ {
+				// Each era gets a fresh author whose snapshot production is
+				// off: the author is killed at its boundary commit, before
+				// the checkpoint step runs.
+				live := c.Live()
+				author := core.NewReplica(live[(b+1)%len(live)], key, fmt.Sprintf("author-%d", b))
+				author.SetCheckpointProduction(false)
+				if err := author.Pull(ctx); err != nil {
+					return fmt.Errorf("author %d pull: %w", b, err)
+				}
+				for i := uint64(0); i < interval; i++ {
+					if err := author.Insert(0, fmt.Sprintf("era %d line %d", b, i)); err != nil {
+						return err
+					}
+					var err error
+					if ts, err = author.Commit(ctx); err != nil {
+						return fmt.Errorf("era %d commit %d: %w", b, i, err)
+					}
+				}
+				lastText = author.Text()
+				// Mid-history churn: crash one peer (when the slot placement
+				// allows it) and replace it, eroding published replica slots
+				// so the repair path has real work.
+				if b == boundaries/2 {
+					if victim := crashSafeVictim(c, key, ts, c.Peers[0]); victim != nil {
+						c.Crash(victim)
+						if _, err := c.AddPeer(c.Peers[0]); err != nil {
+							return fmt.Errorf("churn join: %w", err)
+						}
+					}
+				}
+			}
+			if ts != total {
+				return fmt.Errorf("workload ended at ts %d, want %d", ts, total)
+			}
+			if err := c.WaitStable(30 * time.Second); err != nil {
+				return err
+			}
+			live := c.Live()
+
+			// Checkpoint lag: with maintenance the pointer must reach the
+			// final boundary within the polling budget; without it, nobody
+			// is left to produce and it must stay at 0.
+			var ptr uint64
+			healStart := time.Now()
+			healTime := time.Duration(0)
+			if withMaint {
+				deadline := time.Now().Add(30 * time.Second)
+				for time.Now().Before(deadline) {
+					if ptr, err = live[0].Ckpt.LatestPointer(ctx, key); err == nil && ptr >= total {
+						break
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+				healTime = time.Since(healStart)
+			} else {
+				time.Sleep(250 * time.Millisecond) // several would-be maintenance periods
+				ptr, _ = live[0].Ckpt.LatestPointer(ctx, key)
+			}
+			lag := total - ptr
+			if withMaint && lag >= interval {
+				return fmt.Errorf("maintenance left checkpoint lag %d (pointer %d of %d), bound is < %d", lag, ptr, total, interval)
+			}
+			if !withMaint && ptr != 0 {
+				return fmt.Errorf("pointer advanced to %d with every boundary author dead and no maintenance", ptr)
+			}
+
+			// Slot occupancy: auto-truncation must reclaim the covered
+			// prefix without any explicit TruncateLog call. A handful of
+			// stragglers below the replication factor is tolerated: the
+			// DHT's successor-copy promotion can resurrect an already
+			// deleted replica when churn races the async copy delete, and
+			// those orphans cost storage only (write-once content the
+			// protocol never reads again).
+			stragglers := int64(live[0].Log.Replicas())
+			slots := countLogSlots(c, key).Value()
+			if withMaint {
+				deadline := time.Now().Add(30 * time.Second)
+				for slots > stragglers && time.Now().Before(deadline) {
+					time.Sleep(20 * time.Millisecond)
+					slots = countLogSlots(c, key).Value()
+				}
+				if slots > stragglers {
+					return fmt.Errorf("auto-truncation left %d log slots (pointer %d)", slots, ptr)
+				}
+			} else if slots <= stragglers {
+				return fmt.Errorf("log emptied without any truncation call")
+			}
+
+			// Cold join: O(tail) with maintenance, O(history) without.
+			joiner := core.NewReplica(live[len(live)-1], key, "joiner")
+			if err := joiner.Pull(ctx); err != nil {
+				return fmt.Errorf("cold join: %w", err)
+			}
+			if joiner.Text() != lastText {
+				return fmt.Errorf("joiner diverged from the last author")
+			}
+			_, fetched := joiner.Stats()
+			if withMaint && fetched > int64(interval) {
+				return fmt.Errorf("maintained cold join fetched %d patches, bound is %d", fetched, interval)
+			}
+			if !withMaint && fetched != int64(total) {
+				return fmt.Errorf("baseline cold join fetched %d patches, want %d", fetched, total)
+			}
+
+			// The reclaimed document still serves the live protocol.
+			if err := joiner.Insert(0, "after maintenance"); err != nil {
+				return err
+			}
+			if next, err := joiner.Commit(ctx); err != nil {
+				return fmt.Errorf("commit after auto-truncation: %w", err)
+			} else if next != total+1 {
+				return fmt.Errorf("continuity broken: ts %d after %d", next, total)
+			}
+
+			if withMaint {
+				agg := metrics.NewFamily()
+				for _, p := range c.Peers {
+					if p.Maint != nil {
+						agg.Merge(p.Maint.Counters())
+					}
+				}
+				snap := agg.Snapshot()
+				if snap["fallback-checkpoints"] == 0 {
+					return fmt.Errorf("pointer reached %d without fallback production", ptr)
+				}
+				if snap["truncations"] == 0 {
+					return fmt.Errorf("log reclaimed without the truncation counter moving")
+				}
+				fmt.Fprintf(cfg.Out, "maintenance counters: %s\n", agg)
+			}
+			tbl.AddRow(mode, total, ptr, lag, healTime, slots, fetched)
+			return nil
+		}
+		err = run()
+		cancel()
+		c.Stop()
+		if err != nil {
+			return fmt.Errorf("E10 (%s): %w", mode, err)
+		}
+	}
+	fmt.Fprint(cfg.Out, tbl.String())
+	fmt.Fprintln(cfg.Out, "shape check: with dead boundary authors and no explicit truncation, maintenance holds ckpt-lag < interval and drives log-slots to the tail; the baseline pointer stays 0 and slots grow with history")
+	return nil
+}

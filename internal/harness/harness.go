@@ -44,6 +44,7 @@ func Experiments() []Experiment {
 		{ID: "E7", Title: "P2P-LTR vs centralized / LWW / CRDT baselines", Paper: "introduction's motivation (bottleneck, SPOF, lost updates)", Run: RunE7, Default: true},
 		{ID: "E8", Title: "Eventual consistency under churn (soak)", Paper: "conclusion's dynamicity-and-failures claim", Run: RunE8, Default: true},
 		{ID: "E9", Title: "Checkpointed cold-join catch-up & log truncation", Paper: "beyond the paper: snapshot layer bounding catch-up under churn (ROADMAP)", Run: RunE9, Default: true},
+		{ID: "E10", Title: "Self-healing maintenance: fallback checkpoints, slot repair & auto-truncation", Paper: "beyond the paper: maintain engine closing the checkpoint liveness gaps (ROADMAP)", Run: RunE10, Default: true},
 		{ID: "A1", Title: "Ablation: Hr factor vs Log-Peers-Succ vs read repair", Paper: "design-choice ablation (DESIGN.md §3, availability mechanisms)", Run: RunA1, Default: true},
 	}
 }

@@ -12,8 +12,8 @@ func quickCfg() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 10 {
-		t.Fatalf("have %d experiments, want 10", len(exps))
+	if len(exps) != 11 {
+		t.Fatalf("have %d experiments, want 11", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -49,6 +49,11 @@ func TestE5(t *testing.T) { runExperiment(t, "E5", "mean-hops") }
 func TestE6(t *testing.T) { runExperiment(t, "E6", "availability%") }
 func TestE7(t *testing.T) { runExperiment(t, "E7", "P2P-LTR") }
 func TestE9(t *testing.T) { runExperiment(t, "E9", "join-fetches") }
+
+// TestE10 drives the self-healing maintenance subsystem: boundary
+// authors die at commit, truncation is never called explicitly, and the
+// maintain engine must keep checkpoint lag and slot occupancy bounded.
+func TestE10(t *testing.T) { runExperiment(t, "E10", "ckpt-lag") }
 
 // TestE8EventualConsistencyUnderChurn is the headline soak (DESIGN.md E8).
 func TestE8EventualConsistencyUnderChurn(t *testing.T) {

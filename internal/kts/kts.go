@@ -301,6 +301,25 @@ func (s *Service) handleAnnounce(ctx context.Context, r *msg.CheckpointAnnounceR
 	return &msg.CheckpointAnnounceResp{Accepted: true, CkptTS: e.ckptTS}, nil
 }
 
+// Announce registers a published checkpoint with this node acting as the
+// key's master, advancing the latest-checkpoint pointer through the same
+// serialized path remote announcements take. The maintenance engine calls
+// it after producing a fallback snapshot. accepted is false when the
+// pointer already covers ts (a late or duplicate producer — harmless by
+// write-once idempotence) or when this node is not the master; ckptTS
+// reports the pointer either way.
+func (s *Service) Announce(ctx context.Context, key string, ts uint64) (accepted bool, ckptTS uint64, err error) {
+	resp, err := s.handleAnnounce(ctx, &msg.CheckpointAnnounceReq{Key: key, TS: ts})
+	if err != nil {
+		return false, 0, err
+	}
+	ar, ok := resp.(*msg.CheckpointAnnounceResp)
+	if !ok || ar.NotMaster {
+		return false, 0, nil
+	}
+	return ar.Accepted, ar.CkptTS, nil
+}
+
 // handleReplicate installs a last-ts replica pushed by the current
 // master. Values only move forward, so stale or reordered replications
 // are harmless. The push proves another node is granting for this key,
@@ -489,6 +508,39 @@ func (s *Service) CheckpointTSLocal(key string) (uint64, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.ckptTS, true
+}
+
+// KeyState is the per-key view the maintenance scan iterates: the local
+// last-ts and latest-checkpoint pointer plus whether this node currently
+// masters the key. Values may lag the authoritative log on an unsynced
+// replica entry — monotone under-reporting, which only delays (never
+// mis-triggers) maintenance actions.
+type KeyState struct {
+	Key    string
+	LastTS uint64
+	CkptTS uint64
+	Master bool
+}
+
+// KeyStates enumerates the per-key timestamp state this node holds
+// (primary or replica); the maintenance engine scans it each pass.
+func (s *Service) KeyStates() []KeyState {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	out := make([]KeyState, 0, len(keys))
+	for _, k := range keys {
+		e := s.entryFor(k)
+		e.mu.Lock()
+		st := KeyState{Key: k, LastTS: e.lastTS, CkptTS: e.ckptTS}
+		e.mu.Unlock()
+		st.Master = s.ring.Owns(ids.HashTS(k))
+		out = append(out, st)
+	}
+	return out
 }
 
 // KeysHeld returns the document keys this node holds timestamp state for

@@ -1,0 +1,334 @@
+// Package maintain implements P2P-LTR's self-healing maintenance engine:
+// per-key background anti-entropy the Master-key peer runs through the
+// Chord maintenance tick, closing the liveness gaps the request path
+// tolerates but never repairs.
+//
+// The checkpoint subsystem (internal/checkpoint) makes three best-effort
+// promises that churn can silently break:
+//
+//  1. The boundary author produces each checkpoint. An author that dies
+//     right after its boundary commit skips the snapshot for a whole
+//     interval, so cold joins pay O(missed history) again.
+//  2. Checkpoint slots are replicated at the |Hc| ring positions. The
+//     read path falls back across replicas and tolerates holes silently,
+//     so crashes permanently erode the replication degree.
+//  3. Log truncation reclaims covered prefixes — but only when some
+//     caller explicitly invokes it, so unattended deployments grow
+//     Log-Peer storage without bound.
+//
+// Each Maintain pass the engine scans the keys this node currently
+// masters (the KTS already serializes per-key decisions here, so acting
+// from the master adds no new coordination) and, per key:
+//
+//   - detects checkpoint lag — last-ts at least one interval past the
+//     latest-checkpoint pointer — and acts as the fallback producer: it
+//     reconstructs the committed state at the missed boundary via a
+//     maintenance replica pull, publishes the snapshot to the Hc slots
+//     (write-once, so a late author and the fallback producer converge
+//     on identical content) and advances the pointer;
+//   - repairs under-replicated checkpoints by re-publishing missing Hc
+//     replica slots, and re-writes pointer records that fell behind the
+//     master's in-memory pointer (a failed WritePointer during announce);
+//   - triggers rate-limited, fully-replication-gated log truncation, so
+//     storage reclamation needs no explicit caller.
+//
+// Every action is idempotent and safe to lose: the engine only ever
+// re-derives state from the authoritative write-once log and checkpoint
+// slots, so a crashed pass costs time, never correctness.
+package maintain
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"p2pltr/internal/checkpoint"
+	"p2pltr/internal/ids"
+	"p2pltr/internal/kts"
+	"p2pltr/internal/metrics"
+	"p2pltr/internal/msg"
+	"p2pltr/internal/p2plog"
+	"p2pltr/internal/transport"
+)
+
+// ServiceName identifies the engine among a node's mounted services.
+const ServiceName = "maintain"
+
+// DefaultTruncateEvery is the minimum spacing between truncation attempts
+// per key when none is configured. Truncation walks the whole covered
+// prefix, so it is the one maintenance action worth throttling well below
+// the pass rate.
+const DefaultTruncateEvery = 30 * time.Second
+
+// Config tunes the engine.
+type Config struct {
+	// Interval is the checkpoint period in committed patches the lag
+	// detector assumes (0 disables fallback production; repair and
+	// truncation still run, off the checkpoint pointer this node's KTS
+	// entry knows — i.e. checkpoints other nodes announced). core.Peer
+	// fills it from its CheckpointInterval when left zero.
+	Interval uint64
+	// TruncateEvery is the minimum spacing between truncation attempts
+	// per key (DefaultTruncateEvery if zero).
+	TruncateEvery time.Duration
+	// KeepIntervals is a safety margin for automatic truncation: the
+	// newest KeepIntervals*Interval timestamps below the pointer are NOT
+	// reclaimed, so an editor with tentative edits that lags by less
+	// than the margin can still retrieve the patches OT needs instead of
+	// hitting ErrTruncated (or a lossy rebase) one maintenance tick
+	// after a boundary. 0 reclaims everything the pointer covers —
+	// maximum storage win, maximum reliance on the rebase policy.
+	KeepIntervals int
+	// Now overrides the engine's clock; tests use it to drive the
+	// truncation rate limiter deterministically. Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Puller reconstructs committed document state for the fallback producer.
+// core.Peer adapts its user-replica pull path (checkpoint bootstrap plus
+// log tail) to this.
+type Puller interface {
+	// SnapshotAt returns the committed lines of key at exactly ts.
+	SnapshotAt(ctx context.Context, key string, ts uint64) ([]string, error)
+}
+
+// Engine is the per-peer maintenance service. It implements
+// chord.Service (stateless: nothing to hand over) and chord.Maintainer,
+// which is how the node drives it.
+type Engine struct {
+	cfg   Config
+	kts   *kts.Service
+	store *checkpoint.Store
+	log   *p2plog.Log
+	pull  Puller
+
+	mu          sync.Mutex
+	truncatedTo map[string]uint64
+	lastTrunc   map[string]time.Time
+	// notMaster counts consecutive passes a tracked key was observed
+	// unowned; its bookkeeping is dropped only after several, so a
+	// one-pass Owns() flap during stabilization does not reset the
+	// truncation low-water mark (a reset costs a full O(pointer)
+	// re-sweep of no-op deletes).
+	notMaster map[string]int
+
+	counters *metrics.Family
+}
+
+// dropAfterMisses is how many consecutive not-master passes evict a
+// key's throttle state.
+const dropAfterMisses = 8
+
+// NewEngine wires a maintenance engine over the given subsystems.
+func NewEngine(cfg Config, ts *kts.Service, store *checkpoint.Store, log *p2plog.Log, pull Puller) *Engine {
+	if cfg.TruncateEvery <= 0 {
+		cfg.TruncateEvery = DefaultTruncateEvery
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Engine{
+		cfg:         cfg,
+		kts:         ts,
+		store:       store,
+		log:         log,
+		pull:        pull,
+		truncatedTo: make(map[string]uint64),
+		lastTrunc:   make(map[string]time.Time),
+		notMaster:   make(map[string]int),
+		counters:    metrics.NewFamily(),
+	}
+}
+
+// Counters exposes the engine's action counter family: passes,
+// fallback-checkpoints, slots-repaired, pointer-refreshes, truncations,
+// slots-truncated, truncations-ratelimited, errors.
+func (e *Engine) Counters() *metrics.Family { return e.counters }
+
+// Name implements chord.Service.
+func (e *Engine) Name() string { return ServiceName }
+
+// HandleRPC implements chord.Service; the engine serves no RPCs.
+func (e *Engine) HandleRPC(context.Context, transport.Addr, msg.Message) (msg.Message, bool, error) {
+	return nil, false, nil
+}
+
+// ExportOutside implements chord.Service. Maintenance state is advisory
+// (re-derivable from the DHT), so nothing transfers on membership change.
+func (e *Engine) ExportOutside(newPred, self ids.ID) []msg.StateItem { return nil }
+
+// ExportAll implements chord.Service.
+func (e *Engine) ExportAll() []msg.StateItem { return nil }
+
+// Import implements chord.Service.
+func (e *Engine) Import([]msg.StateItem) {}
+
+// Maintain implements chord.Maintainer: one anti-entropy pass over every
+// key this node currently masters.
+func (e *Engine) Maintain(ctx context.Context) {
+	states := e.kts.KeyStates()
+	e.counters.Counter("passes").Add(1)
+	mastered := make(map[string]bool, len(states))
+	for _, st := range states {
+		if !st.Master {
+			continue
+		}
+		mastered[st.Key] = true
+		e.maintainKey(ctx, st)
+	}
+	// Drop throttle state for keys whose mastership durably moved away,
+	// so a long-lived node's bookkeeping stays bounded by the keys it
+	// serves — but only after several consecutive misses, tolerating
+	// Owns() flapping for a pass while the ring stabilizes.
+	e.mu.Lock()
+	tracked := make(map[string]bool, len(e.truncatedTo)+len(e.lastTrunc))
+	for key := range e.truncatedTo {
+		tracked[key] = true
+	}
+	for key := range e.lastTrunc {
+		tracked[key] = true
+	}
+	for key := range tracked {
+		if mastered[key] {
+			delete(e.notMaster, key)
+			continue
+		}
+		e.notMaster[key]++
+		if e.notMaster[key] >= dropAfterMisses {
+			delete(e.lastTrunc, key)
+			delete(e.truncatedTo, key)
+			delete(e.notMaster, key)
+		}
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) maintainKey(ctx context.Context, st kts.KeyState) {
+	// (1) Fallback checkpoint production. The local pointer may lag the
+	// DHT record (unsynced replica entry after failover), so consult the
+	// published pointer before committing to an expensive reconstruction.
+	if e.cfg.Interval > 0 && st.LastTS >= e.cfg.Interval {
+		boundary := st.LastTS - st.LastTS%e.cfg.Interval
+		if boundary > st.CkptTS {
+			if ptr, err := e.store.LatestPointer(ctx, st.Key); err == nil && ptr > st.CkptTS {
+				st.CkptTS = ptr
+			}
+		}
+		if boundary > st.CkptTS {
+			if ts, ok := e.produce(ctx, st.Key, boundary); ok {
+				st.CkptTS = ts
+			}
+		}
+	}
+
+	// (2) Checkpoint replica and pointer-record repair.
+	full := false
+	if st.CkptTS > 0 {
+		repaired, f, err := e.store.Repair(ctx, st.Key, st.CkptTS)
+		if err != nil {
+			e.counters.Counter("errors").Add(1)
+		} else {
+			full = f
+			if repaired > 0 {
+				e.counters.Counter("slots-repaired").Add(int64(repaired))
+			}
+			// Refresh pointer records that fell behind the master's
+			// in-memory pointer (a failed WritePointer during announce).
+			// Only with Repair's proof that the snapshot is readable: the
+			// pointer is a promise that bootstrap will succeed, and
+			// re-publishing it for a checkpoint whose every slot is gone
+			// would break the retrievability invariant the announce path
+			// gates on.
+			if ptr, perr := e.store.LatestPointer(ctx, st.Key); perr == nil && ptr < st.CkptTS {
+				if e.store.WritePointer(ctx, st.Key, st.CkptTS) == nil {
+					e.counters.Counter("pointer-refreshes").Add(1)
+				}
+			}
+		}
+	}
+
+	// (3) Rate-limited truncation, gated on step 2's replication verdict
+	// (re-probing the same checkpoint through TruncateLog would double
+	// the background slot reads).
+	if full {
+		e.maybeTruncate(ctx, st)
+	}
+}
+
+// produce closes a detected checkpoint gap: reconstruct the committed
+// state at the missed boundary, publish it write-once, and announce it.
+// Losing the idempotence race to a late author is success, not failure —
+// slots are write-once and committed state at a timestamp is
+// deterministic, so both producers publish identical bytes and the
+// announce simply reports whoever advanced the pointer first.
+func (e *Engine) produce(ctx context.Context, key string, boundary uint64) (uint64, bool) {
+	lines, err := e.pull.SnapshotAt(ctx, key, boundary)
+	if err != nil {
+		e.counters.Counter("errors").Add(1)
+		return 0, false
+	}
+	if _, err := e.store.Publish(ctx, checkpoint.Checkpoint{Key: key, TS: boundary, Lines: lines}); err != nil {
+		e.counters.Counter("errors").Add(1)
+		return 0, false
+	}
+	accepted, ckptTS, err := e.kts.Announce(ctx, key, boundary)
+	if err != nil {
+		e.counters.Counter("errors").Add(1)
+		return 0, false
+	}
+	if !accepted {
+		return ckptTS, ckptTS >= boundary
+	}
+	e.counters.Counter("fallback-checkpoints").Add(1)
+	return boundary, true
+}
+
+// maybeTruncate reclaims the log prefix covered by st.CkptTS, which the
+// caller has just verified fully replicated. The low-water mark keeps
+// each sweep O(new history): everything at or below the previous
+// truncation point is already gone.
+func (e *Engine) maybeTruncate(ctx context.Context, st kts.KeyState) {
+	// Hold back the configured safety margin; the checkpoint at
+	// st.CkptTS covers any shorter prefix, so the gate still stands.
+	target := st.CkptTS
+	if e.cfg.KeepIntervals > 0 {
+		margin := uint64(e.cfg.KeepIntervals) * e.cfg.Interval
+		if margin == 0 {
+			// Interval unknown (0): the margin cannot be computed, and
+			// truncating anyway would reclaim history the operator asked
+			// to keep. Skip rather than surprise.
+			return
+		}
+		if target <= margin {
+			return
+		}
+		target -= margin
+	}
+	now := e.cfg.Now()
+	e.mu.Lock()
+	after := e.truncatedTo[st.Key]
+	if target <= after {
+		e.mu.Unlock()
+		return // the covered prefix is already reclaimed
+	}
+	if last, ok := e.lastTrunc[st.Key]; ok && now.Sub(last) < e.cfg.TruncateEvery {
+		e.mu.Unlock()
+		e.counters.Counter("truncations-ratelimited").Add(1)
+		return
+	}
+	e.lastTrunc[st.Key] = now
+	e.mu.Unlock()
+
+	deleted, err := e.log.TruncateRange(ctx, st.Key, after, target)
+	if err != nil {
+		e.counters.Counter("errors").Add(1)
+		return
+	}
+	e.mu.Lock()
+	if target > e.truncatedTo[st.Key] {
+		e.truncatedTo[st.Key] = target
+	}
+	e.mu.Unlock()
+	e.counters.Counter("truncations").Add(1)
+	e.counters.Counter("slots-truncated").Add(int64(deleted))
+}

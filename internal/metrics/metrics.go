@@ -134,6 +134,71 @@ func (c *Counter) Value() int64 {
 	return c.v
 }
 
+// Family is a named set of counters: one metric family whose members are
+// created on first use. Subsystems that count heterogeneous actions (the
+// maintenance engine's passes, repairs, truncations, ...) use it instead
+// of pre-declaring one Counter field per action.
+type Family struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewFamily returns an empty counter family.
+func NewFamily() *Family { return &Family{counters: make(map[string]*Counter)} }
+
+// Counter returns the member with the given name, creating it at zero on
+// first use.
+func (f *Family) Counter(name string) *Counter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.counters[name]
+	if !ok {
+		c = &Counter{}
+		f.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every member.
+func (f *Family) Snapshot() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.counters))
+	for name, c := range f.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Merge adds every member of other into f (creating members as needed),
+// so per-peer families can be aggregated into one cluster-wide view.
+func (f *Family) Merge(other *Family) {
+	if other == nil {
+		return
+	}
+	for name, v := range other.Snapshot() {
+		f.Counter(name).Add(v)
+	}
+}
+
+// String renders the family as space-separated name=value pairs in name
+// order, omitting zero-valued members.
+func (f *Family) String() string {
+	snap := f.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name, v := range snap {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%d", name, snap[name])
+	}
+	return strings.Join(parts, " ")
+}
+
 // ---------------------------------------------------------------------------
 // Table rendering.
 

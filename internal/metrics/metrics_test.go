@@ -151,3 +151,28 @@ func TestSummaryFormat(t *testing.T) {
 		}
 	}
 }
+
+func TestFamily(t *testing.T) {
+	f := NewFamily()
+	f.Counter("repairs").Add(2)
+	f.Counter("repairs").Add(1)
+	f.Counter("passes").Add(5)
+	f.Counter("idle") // created but zero: omitted from String
+	snap := f.Snapshot()
+	if snap["repairs"] != 3 || snap["passes"] != 5 || snap["idle"] != 0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if got, want := f.String(), "passes=5 repairs=3"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+
+	other := NewFamily()
+	other.Counter("repairs").Add(4)
+	other.Counter("errors").Add(1)
+	f.Merge(other)
+	f.Merge(nil) // tolerated
+	snap = f.Snapshot()
+	if snap["repairs"] != 7 || snap["errors"] != 1 || snap["passes"] != 5 {
+		t.Fatalf("merged snapshot = %v", snap)
+	}
+}

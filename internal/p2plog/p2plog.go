@@ -231,6 +231,45 @@ func (l *Log) SetPrefetch(w int) {
 	l.prefetch = w
 }
 
+// mapWindowed applies fn to every timestamp in [from, to] with at most
+// one prefetch window in flight: each window's timestamps run
+// concurrently (their slots live at independent ring positions), then
+// done(ts, fnErr) is invoked in increasing-ts order before the next
+// window starts. A non-nil error from done stops the sweep; a cancelled
+// ctx stops it between windows.
+func (l *Log) mapWindowed(ctx context.Context, from, to uint64, fn func(ts uint64) error, done func(ts uint64, fnErr error) error) error {
+	window := l.prefetch
+	if window < 1 {
+		window = 1
+	}
+	for base := from; base <= to; base += uint64(window) {
+		end := base + uint64(window) - 1
+		if end > to {
+			end = to
+		}
+		n := int(end - base + 1)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = fn(base + uint64(i))
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if err := done(base+uint64(i), errs[i]); err != nil {
+				return err
+			}
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
+
 // FetchRange implements the paper's retrieval procedure: it returns the
 // committed patches with timestamps in (from, to], strictly in increasing
 // timestamp order. Any missing intermediate timestamp aborts with
@@ -245,36 +284,25 @@ func (l *Log) FetchRange(ctx context.Context, key string, from, to uint64) ([]Re
 	if to < from {
 		return nil, fmt.Errorf("p2plog: bad range (%d,%d]", from, to)
 	}
-	out := make([]Record, 0, to-from)
-	window := l.prefetch
-	if window < 1 {
-		window = 1
-	}
-	for base := from + 1; base <= to; base += uint64(window) {
-		end := base + uint64(window) - 1
-		if end > to {
-			end = to
-		}
-		n := int(end - base + 1)
-		recs := make([]Record, n)
-		errs := make([]error, n)
-		var wg sync.WaitGroup
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				recs[i], errs[i] = l.Fetch(ctx, key, base+uint64(i))
-			}(i)
-		}
-		wg.Wait()
-		for i := 0; i < n; i++ {
-			if errs[i] != nil {
-				return out, fmt.Errorf("retrieving ts %d of %s: %w", base+uint64(i), key, errs[i])
+	all := make([]Record, to-from)
+	resolved := 0
+	err := l.mapWindowed(ctx, from+1, to,
+		func(ts uint64) error {
+			rec, err := l.Fetch(ctx, key, ts)
+			if err != nil {
+				return err
 			}
-			out = append(out, recs[i])
-		}
-	}
-	return out, nil
+			all[ts-from-1] = rec
+			return nil
+		},
+		func(ts uint64, fnErr error) error {
+			if fnErr != nil {
+				return fmt.Errorf("retrieving ts %d of %s: %w", ts, key, fnErr)
+			}
+			resolved++ // done runs in increasing ts order, so this is the in-order prefix
+			return nil
+		})
+	return all[:resolved], err
 }
 
 // Truncate reclaims Log-Peer storage by deleting every replica slot of
@@ -287,23 +315,51 @@ func (l *Log) FetchRange(ctx context.Context, key string, from, to uint64) ([]Re
 // which Master-key crash-recovery still walks. Deletion is best-effort
 // per slot — an unreachable Log-Peer keeps its copy and a later Truncate
 // pass reclaims it.
+//
+// Like FetchRange, consecutive timestamps live at independent ring
+// positions, so their slot deletes are issued concurrently in prefetch
+// windows: reclaiming a deep history costs ~ceil(k/window) round trips
+// instead of k.
 func (l *Log) Truncate(ctx context.Context, key string, upToTS uint64) (deleted int, err error) {
+	return l.TruncateRange(ctx, key, 0, upToTS)
+}
+
+// TruncateRange deletes the replica slots with timestamps in
+// (afterTS, upToTS]. Periodic callers (the maintenance engine) pass the
+// previous truncation point as afterTS so each sweep costs O(new
+// history), not O(pointer) — without the low-water mark an automatic
+// truncation on a long-lived document would re-issue mostly no-op
+// deletes for the whole reclaimed prefix every period.
+func (l *Log) TruncateRange(ctx context.Context, key string, afterTS, upToTS uint64) (deleted int, err error) {
+	if upToTS <= afterTS {
+		return 0, nil
+	}
+	counts := make([]int, upToTS-afterTS)
 	var lastErr error
-	for ts := uint64(1); ts <= upToTS; ts++ {
-		for i := 0; i < l.replicas; i++ {
-			slot := ids.ReplicaHash(i, key, ts)
-			ok, derr := l.c.DeleteID(ctx, slot)
-			if derr != nil {
-				lastErr = derr
-				continue
+	werr := l.mapWindowed(ctx, afterTS+1, upToTS,
+		func(ts uint64) error {
+			var derrLast error
+			for r := 0; r < l.replicas; r++ {
+				ok, derr := l.c.DeleteID(ctx, ids.ReplicaHash(r, key, ts))
+				if derr != nil {
+					derrLast = derr
+					continue
+				}
+				if ok {
+					counts[ts-afterTS-1]++
+				}
 			}
-			if ok {
-				deleted++
+			return derrLast
+		},
+		func(ts uint64, fnErr error) error {
+			deleted += counts[ts-afterTS-1]
+			if fnErr != nil {
+				lastErr = fnErr
 			}
-		}
-		if cerr := ctx.Err(); cerr != nil {
-			return deleted, cerr
-		}
+			return nil
+		})
+	if werr != nil {
+		return deleted, werr
 	}
 	if lastErr != nil {
 		return deleted, fmt.Errorf("p2plog: truncate %s up to %d: %w", key, upToTS, lastErr)

@@ -456,3 +456,46 @@ func TestTruncatePreservesLiveTail(t *testing.T) {
 		}
 	}
 }
+
+// TestTruncateRangeRespectsLowWaterMark: TruncateRange sweeps exactly
+// (afterTS, upToTS], the contract periodic maintenance relies on to keep
+// each sweep O(new history).
+func TestTruncateRangeRespectsLowWaterMark(t *testing.T) {
+	c := newCluster(t, 6, 3)
+	ctx := context.Background()
+	log := c.Peers[0].Log
+	for ts := uint64(1); ts <= 8; ts++ {
+		rec := p2plog.Record{Key: "lw-doc", TS: ts, PatchID: fmt.Sprintf("u#%d", ts), Patch: []byte{byte(ts)}}
+		if _, err := log.Publish(ctx, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted, err := log.TruncateRange(ctx, "lw-doc", 4, 6)
+	if err != nil {
+		t.Fatalf("truncate range: %v", err)
+	}
+	if deleted != 2*log.Replicas() {
+		t.Fatalf("deleted %d slot replicas, want %d", deleted, 2*log.Replicas())
+	}
+	// Below the low-water mark: untouched.
+	for ts := uint64(1); ts <= 4; ts++ {
+		if ok, err := log.Exists(ctx, "lw-doc", ts); err != nil || !ok {
+			t.Fatalf("ts %d below the mark was swept (ok=%v err=%v)", ts, ok, err)
+		}
+	}
+	for ts := uint64(5); ts <= 6; ts++ {
+		if ok, err := log.Exists(ctx, "lw-doc", ts); err != nil || ok {
+			t.Fatalf("ts %d in range survived (ok=%v err=%v)", ts, ok, err)
+		}
+	}
+	// Above the range: untouched.
+	for ts := uint64(7); ts <= 8; ts++ {
+		if ok, err := log.Exists(ctx, "lw-doc", ts); err != nil || !ok {
+			t.Fatalf("ts %d above the range was swept (ok=%v err=%v)", ts, ok, err)
+		}
+	}
+	// An empty range is a no-op.
+	if deleted, err := log.TruncateRange(ctx, "lw-doc", 6, 6); err != nil || deleted != 0 {
+		t.Fatalf("empty range: deleted=%d err=%v", deleted, err)
+	}
+}
