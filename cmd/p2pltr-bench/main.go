@@ -19,9 +19,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("e", "all", "experiment ID (E1..E9, A1) or 'all'")
+		exp   = flag.String("e", "all", "experiment ID (E1..E11, A1) or 'all'")
 		seed  = flag.Int64("seed", 1, "workload and latency seed")
 		quick = flag.Bool("quick", false, "reduced parameter sweeps")
+		long  = flag.Bool("long", false, "paper-scale sweeps (E11 at 10k peers)")
 		list  = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -32,7 +33,7 @@ func main() {
 		}
 		return
 	}
-	cfg := harness.Config{Out: os.Stdout, Seed: *seed, Quick: *quick}
+	cfg := harness.Config{Out: os.Stdout, Seed: *seed, Quick: *quick, Long: *long}
 	if err := harness.Run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

@@ -30,6 +30,7 @@ import (
 	"p2pltr/internal/ids"
 	"p2pltr/internal/msg"
 	"p2pltr/internal/transport"
+	"p2pltr/internal/vclock"
 )
 
 // MaxHops bounds lookup routing; a lookup that exceeds it fails rather
@@ -56,6 +57,10 @@ type Config struct {
 	// CallTimeout bounds every maintenance RPC; a peer that misses it is
 	// suspected of failure (semi-synchronous model).
 	CallTimeout time.Duration
+	// Clock drives every timer, timeout and maintenance tick. nil means
+	// the wall clock (production behavior); a *vclock.Virtual runs the
+	// node in simulated time for large-scale deterministic experiments.
+	Clock vclock.Clock
 }
 
 // DefaultConfig suits real deployments over TCP.
@@ -122,10 +127,11 @@ type Ring interface {
 
 // Node is one Chord peer.
 type Node struct {
-	cfg Config
-	ep  transport.Endpoint
-	id  ids.ID
-	ref msg.NodeRef
+	cfg   Config
+	ep    transport.Endpoint
+	id    ids.ID
+	ref   msg.NodeRef
+	clock vclock.Clock
 
 	mu        sync.RWMutex
 	pred      msg.NodeRef
@@ -139,8 +145,19 @@ type Node struct {
 	// falsely suspected and evicted — has empty live tables, so this
 	// memory is its only way back into the ring (see mergeCycles).
 	evicted []msg.NodeRef
-	started bool
-	stopped bool
+	// suspects tracks unconfirmed failures of the periodic liveness
+	// probes (stabilize's successor probe, check-predecessor). One
+	// missed deadline only suspects (semi-synchronous model); eviction
+	// needs a confirming second failure within the recency window,
+	// because under sustained message loss single-failure eviction makes
+	// the ring structure itself flap — every false successor eviction is
+	// a wrong pointer the next rounds must repair. Lookup-path failures
+	// still evict immediately: a lookup must route around a dead hop
+	// now, and the healthier stabilization cheaply re-adopts a falsely
+	// evicted peer.
+	suspects map[string]suspicion
+	started  bool
+	stopped  bool
 
 	services []Service
 
@@ -163,13 +180,16 @@ func NewNode(ep transport.Endpoint, cfg Config) *Node {
 // NewNodeWithID creates a node with an explicit ring identifier.
 func NewNodeWithID(ep transport.Endpoint, id ids.ID, cfg Config) *Node {
 	if cfg.SuccListLen <= 0 {
+		clk := cfg.Clock
 		cfg = DefaultConfig()
+		cfg.Clock = clk
 	}
 	n := &Node{
-		cfg: cfg,
-		ep:  ep,
-		id:  id,
-		ref: msg.NodeRef{ID: id, Addr: string(ep.Addr())},
+		cfg:   cfg,
+		ep:    ep,
+		id:    id,
+		ref:   msg.NodeRef{ID: id, Addr: string(ep.Addr())},
+		clock: vclock.OrSystem(cfg.Clock),
 	}
 	ep.SetHandler(n.handle)
 	return n
@@ -193,6 +213,9 @@ func (n *Node) ID() ids.ID { return n.id }
 
 // Addr returns the node's transport address.
 func (n *Node) Addr() transport.Addr { return n.ep.Addr() }
+
+// Clock returns the clock the node's timers and timeouts run on.
+func (n *Node) Clock() vclock.Clock { return n.clock }
 
 // Successor implements Ring.
 func (n *Node) Successor() msg.NodeRef {
@@ -238,7 +261,7 @@ func (n *Node) Owns(key ids.ID) bool {
 // composes with any caller deadline — whichever expires first wins — so a
 // lost message costs one CallTimeout, not the caller's whole budget.
 func (n *Node) Call(ctx context.Context, to transport.Addr, req msg.Message) (msg.Message, error) {
-	ctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
+	ctx, cancel := n.clock.WithTimeout(ctx, n.cfg.CallTimeout)
 	defer cancel()
 	if to == n.ep.Addr() {
 		// Local fast path: avoids transport self-dial and lock reentrancy
@@ -265,7 +288,12 @@ func (n *Node) Create() {
 // requires ("the old responsible transfers its keys and timestamps to the
 // new Master-key"), and starts maintenance.
 func (n *Node) Join(ctx context.Context, bootstrap transport.Addr) error {
-	resp, err := n.Call(ctx, bootstrap, &msg.FindSuccessorReq{Key: n.id})
+	// Look up successor(id+1), not successor(id): the two differ only
+	// when routing still names this node as responsible for its own ID —
+	// stale records of a previous incarnation that crashed and is now
+	// rejoining. successor(id) then resolves to the joiner itself, and
+	// installing that would island it on a self-loop.
+	resp, err := n.Call(ctx, bootstrap, &msg.FindSuccessorReq{Key: ids.Add(n.id, 1)})
 	if err != nil {
 		return fmt.Errorf("chord: join via %s: %w", bootstrap, err)
 	}
@@ -274,8 +302,28 @@ func (n *Node) Join(ctx context.Context, bootstrap transport.Addr) error {
 		return fmt.Errorf("chord: join: unexpected response %T", resp)
 	}
 	succ := fs.Node
+	if !fs.Final {
+		// The bootstrap redirected to its closest preceding node: keep
+		// walking to the actual successor. Joining on the redirect target
+		// instead converges eventually (stabilization adopts succ.pred
+		// round by round) but costs O(ring distance) stabilize periods —
+		// minutes on a thousand-peer ring.
+		if succ, _, err = n.walk(ctx, fs.Node, ids.Add(n.id, 1), 1); err != nil {
+			return fmt.Errorf("chord: join via %s: %w", bootstrap, err)
+		}
+	}
 	if succ.ID == n.id && succ.Addr != string(n.ep.Addr()) {
 		return fmt.Errorf("chord: ID collision with %s", succ.Addr)
+	}
+	if succ.Addr == string(n.ep.Addr()) {
+		// The lookup bottomed out on this node's own stale record: the
+		// answerer has not yet routed around our previous incarnation.
+		// Retryable — stabilization is already cleaning it up.
+		return fmt.Errorf("chord: join via %s: lookup answered own stale record", bootstrap)
+	}
+	succ, err = n.confirmJoinSuccessor(ctx, succ)
+	if err != nil {
+		return fmt.Errorf("chord: join via %s: %w", bootstrap, err)
 	}
 
 	n.mu.Lock()
@@ -302,6 +350,49 @@ func (n *Node) Join(ctx context.Context, bootstrap transport.Addr) error {
 	// stabilization round.
 	_, _ = n.Call(ctx, transport.Addr(succ.Addr), &msg.NotifyReq{Candidate: n.ref})
 	return nil
+}
+
+// joinBacktrack bounds how many predecessor steps confirmJoinSuccessor
+// walks back from the lookup's answer.
+const joinBacktrack = 8
+
+// confirmJoinSuccessor cross-checks a join lookup's answer the way
+// stabilize's rule 1 does, eagerly: a ring under message loss serves
+// lookups through eroded finger tables, and a "best-effort final" from a
+// node that knows nothing closer can name a successor far past the
+// joiner's true position. Installing that answer strands the joiner —
+// stabilization repairs it only one predecessor step per period. So ask
+// the candidate for its predecessor and back up while a closer live node
+// exists; a candidate still unconfirmed after joinBacktrack steps was a
+// far-wrong answer, and failing lets the caller retry the whole lookup
+// against a repaired ring.
+func (n *Node) confirmJoinSuccessor(ctx context.Context, succ msg.NodeRef) (msg.NodeRef, error) {
+	var confirmed msg.NodeRef // newest candidate that answered a probe
+	for i := 0; i < joinBacktrack; i++ {
+		nb := n.neighborsOf(ctx, succ)
+		if nb == nil {
+			if confirmed.IsZero() {
+				return succ, fmt.Errorf("chord: successor candidate %s unreachable", succ.Addr)
+			}
+			return confirmed, nil // the closer node died mid-walk; the confirmed one stands
+		}
+		if nb.Pred.ID == n.id && nb.Pred.Addr != string(n.ep.Addr()) {
+			// The node just before our position holds exactly our ID:
+			// an ID collision. The successor(id+1) join key cannot see
+			// the collider directly (it resolves past it), but in a
+			// settled ring the collider is precisely our would-be
+			// successor's predecessor.
+			return succ, fmt.Errorf("chord: ID collision with %s", nb.Pred.Addr)
+		}
+		if nb.Pred.IsZero() || nb.Pred.ID == n.id || !ids.Between(nb.Pred.ID, n.id, succ.ID) {
+			return succ, nil // confirmed: nothing between us and it
+		}
+		// A closer node exists: step back to it. The next iteration's
+		// probe doubles as its liveness check.
+		confirmed = succ
+		succ = nb.Pred
+	}
+	return succ, fmt.Errorf("chord: lookup answered a far successor (backtrack budget exhausted at %s)", succ.Addr)
 }
 
 // Leave departs gracefully: all service state is pushed to the successor,
@@ -338,25 +429,26 @@ func (n *Node) start() {
 	}
 	n.started = true
 	n.stopped = false
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := n.clock.WithCancel(context.Background())
 	n.cancel = cancel
 	n.mu.Unlock()
 
 	run := func(every time.Duration, f func(context.Context)) {
+		// The ticker is armed here, on the starting goroutine: under a
+		// virtual clock that fixes the order of same-instant first ticks
+		// across nodes, keeping large simulations deterministic.
+		t := n.clock.NewTicker(every)
 		n.wg.Add(1)
-		go func() {
+		n.clock.Go(func() {
 			defer n.wg.Done()
-			t := time.NewTicker(every)
 			defer t.Stop()
 			for {
-				select {
-				case <-ctx.Done():
+				if t.Wait(ctx) != nil {
 					return
-				case <-t.C:
-					f(ctx)
 				}
+				f(ctx)
 			}
-		}()
+		})
 	}
 	run(n.cfg.StabilizeEvery, n.stabilize)
 	run(n.cfg.FixFingersEvery, n.fixFingers)

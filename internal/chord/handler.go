@@ -67,8 +67,8 @@ func (n *Node) handleNotify(cand msg.NodeRef) {
 	if len(items) == 0 {
 		return
 	}
-	go func() {
-		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	n.clock.Go(func() {
+		ctx, cancel := n.clock.WithTimeout(context.Background(), n.cfg.CallTimeout)
 		defer cancel()
 		if _, err := n.Call(ctx, transport.Addr(cand.Addr), &msg.StateTransferReq{From: n.ref, Items: items}); err != nil {
 			// The new predecessor vanished before the transfer landed;
@@ -76,7 +76,7 @@ func (n *Node) handleNotify(cand msg.NodeRef) {
 			// stabilization round retry the migration.
 			n.importItems(items)
 		}
-	}()
+	})
 }
 
 // handleHandover serves a joining predecessor: every service exports the

@@ -21,10 +21,8 @@ func (n *Node) FindSuccessor(ctx context.Context, key ids.ID) (msg.NodeRef, int,
 	for attempt := 0; attempt <= lookupRetries; attempt++ {
 		if attempt > 0 {
 			// Give stabilization a beat to route around the failure.
-			select {
-			case <-ctx.Done():
-				return msg.NodeRef{}, 0, ctx.Err()
-			case <-time.After(2 * n.cfg.StabilizeEvery):
+			if err := n.clock.Sleep(ctx, 2*n.cfg.StabilizeEvery); err != nil {
+				return msg.NodeRef{}, 0, err
 			}
 		}
 		ref, hops, err := n.lookupOnce(ctx, key)
@@ -130,7 +128,8 @@ func (n *Node) closestPreceding(key ids.ID) msg.NodeRef {
 	return n.ref
 }
 
-// probe performs a cheap liveness check.
+// probe performs a cheap liveness check. A success clears any pending
+// failure suspicion against the peer.
 func (n *Node) probe(ctx context.Context, ref msg.NodeRef) bool {
 	if ref.Addr == string(n.ep.Addr()) {
 		return true
@@ -140,7 +139,65 @@ func (n *Node) probe(ctx context.Context, ref msg.NodeRef) bool {
 		return false
 	}
 	_, ok := resp.(*msg.Ack)
+	if ok {
+		n.clearSuspicion(ref.Addr)
+	}
 	return ok
+}
+
+// evictAfterFailures is how many failed liveness probes inside the
+// recency window confirm a suspicion and evict the peer. Two keeps
+// genuine crashes detected within one extra maintenance period while
+// making loss-induced false eviction of ring neighbors quadratically
+// unlikely.
+const evictAfterFailures = 2
+
+// suspicion is one peer's unconfirmed-failure record.
+type suspicion struct {
+	count int
+	last  time.Time
+}
+
+// suspectFailure records a failed contact with ref and evicts it once
+// the suspicion is confirmed, reporting whether it did. A strike whose
+// predecessor is older than the recency window starts a fresh count:
+// without aging, a stray failure from minutes ago would make the next
+// single missed probe evict on what is really a first failure.
+func (n *Node) suspectFailure(ref msg.NodeRef) bool {
+	window := 4 * n.cfg.StabilizeEvery
+	if p := 4 * n.cfg.CheckPredEvery; p > window {
+		window = p
+	}
+	now := n.clock.Now()
+	n.mu.Lock()
+	if n.suspects == nil {
+		n.suspects = make(map[string]suspicion)
+	}
+	s := n.suspects[ref.Addr]
+	if s.count > 0 && now.Sub(s.last) > window {
+		s.count = 0
+	}
+	s.count++
+	s.last = now
+	confirmed := s.count >= evictAfterFailures
+	if confirmed {
+		delete(n.suspects, ref.Addr)
+	} else {
+		n.suspects[ref.Addr] = s
+	}
+	n.mu.Unlock()
+	if confirmed {
+		n.evict(ref)
+	}
+	return confirmed
+}
+
+// clearSuspicion forgets failure suspicion against addr (a contact
+// succeeded).
+func (n *Node) clearSuspicion(addr string) {
+	n.mu.Lock()
+	delete(n.suspects, addr)
+	n.mu.Unlock()
 }
 
 // evict removes a dead node from the local routing state, remembering it

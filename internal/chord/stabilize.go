@@ -13,7 +13,12 @@ import (
 // between us and it, rebuilds the successor list from the successor's
 // list, and notifies the successor of our existence.
 func (n *Node) stabilize(ctx context.Context) {
-	succ, nb := n.liveSuccessorNeighbors(ctx)
+	succ, nb, ok := n.liveSuccessorNeighbors(ctx)
+	if !ok {
+		// The successor missed a deadline but is only suspected, not
+		// confirmed dead: skip this round and let the next one decide.
+		return
+	}
 	if succ.IsZero() {
 		// Every known successor is dead; fall back to a self-loop and let
 		// fix-fingers rediscover the ring (it cannot, if we are truly
@@ -165,8 +170,11 @@ func (n *Node) adoptSuccessor(y msg.NodeRef) {
 }
 
 // liveSuccessorNeighbors returns the first successor-list entry that
-// answers a Neighbors probe, evicting dead ones along the way.
-func (n *Node) liveSuccessorNeighbors(ctx context.Context) (msg.NodeRef, *msg.NeighborsResp) {
+// answers a Neighbors probe, evicting confirmed-dead ones along the way.
+// ok=false means the current successor merely missed one deadline: it is
+// suspected but not yet confirmed, so the caller should skip this round
+// rather than act on an unverified failure.
+func (n *Node) liveSuccessorNeighbors(ctx context.Context) (succ msg.NodeRef, nb *msg.NeighborsResp, ok bool) {
 	for {
 		n.mu.RLock()
 		var cand msg.NodeRef
@@ -178,15 +186,18 @@ func (n *Node) liveSuccessorNeighbors(ctx context.Context) (msg.NodeRef, *msg.Ne
 		}
 		n.mu.RUnlock()
 		if cand.IsZero() {
-			return msg.NodeRef{}, nil
+			return msg.NodeRef{}, nil, true
 		}
 		if cand.ID == n.id {
-			return n.ref, n.localNeighbors()
+			return n.ref, n.localNeighbors(), true
 		}
 		if nb := n.neighborsOf(ctx, cand); nb != nil {
-			return cand, nb
+			n.clearSuspicion(cand.Addr)
+			return cand, nb, true
 		}
-		n.evict(cand)
+		if !n.suspectFailure(cand) {
+			return msg.NodeRef{}, nil, false
+		}
 	}
 }
 
@@ -239,15 +250,13 @@ func (n *Node) checkPredecessor(ctx context.Context) {
 	if pred.IsZero() || pred.ID == n.id {
 		return
 	}
-	if !n.probe(ctx, pred) {
-		n.mu.Lock()
-		if n.pred.Addr == pred.Addr {
-			n.pred = msg.NodeRef{}
-		}
-		n.mu.Unlock()
-		// The predecessor's failure makes this node responsible for its
-		// keys. Services holding replicas (the KTS Master-Succ role)
-		// promote them on demand when the first request arrives.
+	if !n.probe(ctx, pred) && n.suspectFailure(pred) {
+		// suspectFailure's eviction cleared the predecessor (and any
+		// other table entry naming it). The predecessor's failure makes
+		// this node responsible for its keys. Services holding replicas
+		// (the KTS Master-Succ role) promote them on demand when the
+		// first request arrives.
+		return
 	}
 }
 

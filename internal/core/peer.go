@@ -21,6 +21,7 @@ import (
 	"p2pltr/internal/maintain"
 	"p2pltr/internal/p2plog"
 	"p2pltr/internal/transport"
+	"p2pltr/internal/vclock"
 )
 
 // Options configures a peer.
@@ -51,11 +52,24 @@ type Options struct {
 	// from the Chord maintenance tick for keys this peer masters. The
 	// config's Interval defaults to CheckpointInterval.
 	Maintain *maintain.Config
+	// Clock drives every timer, timeout, retry backoff and maintenance
+	// period on this peer. nil means the wall clock — production behavior
+	// is unchanged; a *vclock.Virtual runs the whole peer in simulated
+	// time for large-scale deterministic experiments.
+	Clock vclock.Clock
 }
 
 func (o Options) withDefaults() Options {
 	if o.Chord.SuccListLen == 0 {
+		clk := o.Chord.Clock
 		o.Chord = chord.DefaultConfig()
+		o.Chord.Clock = clk
+	}
+	if o.Clock == nil {
+		o.Clock = vclock.OrSystem(o.Chord.Clock)
+	}
+	if o.Chord.Clock == nil {
+		o.Chord.Clock = o.Clock
 	}
 	if o.LogReplicas == 0 {
 		o.LogReplicas = p2plog.DefaultReplicas
@@ -77,7 +91,8 @@ func (o Options) withDefaults() Options {
 // Master-key-Succ, Log-Peer and Log-Peer-Succ roles; with a Replica
 // attached it is also a User Peer.
 type Peer struct {
-	opts Options
+	opts  Options
+	clock vclock.Clock
 
 	Node *chord.Node
 	DHT  *dht.Service
@@ -95,11 +110,14 @@ type Peer struct {
 func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 	opts = opts.withDefaults()
 	node := chord.NewNode(ep, opts.Chord)
-	p := &Peer{opts: opts, Node: node}
+	p := &Peer{opts: opts, clock: opts.Clock, Node: node}
 	p.DHT = dht.NewService()
 	p.DHT.SetRing(node)
+	p.DHT.SetClock(opts.Clock)
 	p.Client = dht.NewClient(node, opts.ClientAttempts, opts.ClientBackoff)
+	p.Client.SetClock(opts.Clock)
 	p.Log = p2plog.New(p.Client, opts.LogReplicas)
+	p.Log.SetClock(opts.Clock)
 	p.Ckpt = checkpoint.NewStore(p.Client, opts.CheckpointReplicas)
 	p.KTS = kts.NewService(node, p.Log)
 	p.KTS.SetCheckpointStore(p.Ckpt)
@@ -110,6 +128,9 @@ func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 		if cfg.Interval == 0 {
 			cfg.Interval = opts.CheckpointInterval
 		}
+		if cfg.Now == nil {
+			cfg.Now = opts.Clock.Now
+		}
 		p.Maint = maintain.NewEngine(cfg, p.KTS, p.Ckpt, p.Log, snapshotter{p})
 		node.Attach(p.Maint)
 	}
@@ -119,6 +140,9 @@ func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 // CheckpointInterval returns the configured checkpoint period (0 when
 // this peer does not produce checkpoints).
 func (p *Peer) CheckpointInterval() uint64 { return p.opts.CheckpointInterval }
+
+// Clock returns the clock the peer's timers and backoffs run on.
+func (p *Peer) Clock() vclock.Clock { return p.clock }
 
 // Create bootstraps a new ring with this peer as its only member.
 func (p *Peer) Create() { p.Node.Create() }

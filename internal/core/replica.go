@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"p2pltr/internal/checkpoint"
 	"p2pltr/internal/ids"
@@ -630,10 +629,8 @@ func (r *Replica) callMasterRaw(ctx context.Context, req msg.Message, notMaster 
 	var lastErr error
 	for attempt := 0; attempt < r.peer.opts.ClientAttempts; attempt++ {
 		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(r.peer.opts.ClientBackoff):
+			if err := r.peer.clock.Sleep(ctx, r.peer.opts.ClientBackoff); err != nil {
+				return nil, err
 			}
 		}
 		master, _, err := r.peer.Node.FindSuccessor(ctx, tsID)

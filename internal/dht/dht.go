@@ -20,6 +20,7 @@ import (
 	"p2pltr/internal/msg"
 	"p2pltr/internal/store"
 	"p2pltr/internal/transport"
+	"p2pltr/internal/vclock"
 )
 
 // ServiceName identifies DHT state items in Chord handovers.
@@ -35,17 +36,34 @@ const ServiceName = "dht"
 // the owner fails, its successor — now the owner — promotes the replica
 // to primary on first access and re-replicates onward.
 type Service struct {
-	st  *store.Store // slots this peer serves (primary)
-	rep *store.Store // successor copies of the predecessor's slots
-	mu  sync.Mutex
-	rng chord.Ring // set by SetRing before the node starts
+	st    *store.Store // slots this peer serves (primary)
+	rep   *store.Store // successor copies of the predecessor's slots
+	mu    sync.Mutex
+	rng   chord.Ring // set by SetRing before the node starts
+	clock vclock.Clock
 	// noSuccCopies disables the Log-Peers-Succ mechanism (ablation A1).
 	noSuccCopies bool
 }
 
 // NewService returns an empty DHT storage service.
 func NewService() *Service {
-	return &Service{st: store.New(), rep: store.New()}
+	return &Service{st: store.New(), rep: store.New(), clock: vclock.System}
+}
+
+// SetClock routes the service's asynchronous successor-copy pushes (their
+// goroutines and timeouts) through c. Virtual-time simulations need it so
+// the scheduler can account for those goroutines; the default is the wall
+// clock.
+func (s *Service) SetClock(c vclock.Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = vclock.OrSystem(c)
+}
+
+func (s *Service) clk() vclock.Clock {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
 }
 
 // SetRing wires the ring view used for successor replication. Without it
@@ -151,11 +169,12 @@ func (s *Service) replicateToSucc(items []msg.StateItem) {
 	if succ.IsZero() || succ.ID == rng.Ref().ID {
 		return
 	}
-	go func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	clk := s.clk()
+	clk.Go(func() {
+		ctx, cancel := clk.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		_, _ = rng.Call(ctx, transport.Addr(succ.Addr), &msg.DHTReplicaPutReq{Items: items})
-	}()
+	})
 }
 
 // deleteFromSucc removes successor copies of deleted slots,
@@ -170,11 +189,12 @@ func (s *Service) deleteFromSucc(idsToDrop []ids.ID) {
 	if succ.IsZero() || succ.ID == rng.Ref().ID {
 		return
 	}
-	go func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	clk := s.clk()
+	clk.Go(func() {
+		ctx, cancel := clk.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		_, _ = rng.Call(ctx, transport.Addr(succ.Addr), &msg.DHTReplicaDeleteReq{IDs: idsToDrop})
-	}()
+	})
 }
 
 // Maintain implements chord.Maintainer: it periodically re-pushes every
@@ -205,7 +225,7 @@ func (s *Service) Maintain(ctx context.Context) {
 	if len(items) == 0 {
 		return
 	}
-	cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	cctx, cancel := s.clk().WithTimeout(ctx, 2*time.Second)
 	defer cancel()
 	_, _ = rng.Call(cctx, transport.Addr(succ.Addr), &msg.DHTReplicaPutReq{Items: items})
 }
@@ -255,6 +275,7 @@ type Client struct {
 	ring     chord.Ring
 	attempts int
 	backoff  time.Duration
+	clock    vclock.Clock
 }
 
 // NewClient returns a client bound to the local ring view. attempts
@@ -263,8 +284,14 @@ func NewClient(ring chord.Ring, attempts int, backoff time.Duration) *Client {
 	if attempts < 1 {
 		attempts = 1
 	}
-	return &Client{ring: ring, attempts: attempts, backoff: backoff}
+	return &Client{ring: ring, attempts: attempts, backoff: backoff, clock: vclock.System}
 }
+
+// SetClock makes retry backoffs wait on c instead of the wall clock. It
+// is wiring-time configuration: call it before the client serves any
+// operation (the field is read without synchronization on the call
+// path).
+func (c *Client) SetClock(clk vclock.Clock) { c.clock = vclock.OrSystem(clk) }
 
 // call resolves successor(id) and invokes req on it, retrying on
 // unavailability.
@@ -272,10 +299,8 @@ func (c *Client) call(ctx context.Context, id ids.ID, req msg.Message) (msg.Mess
 	var lastErr error
 	for a := 0; a < c.attempts; a++ {
 		if a > 0 && c.backoff > 0 {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(c.backoff):
+			if err := c.clock.Sleep(ctx, c.backoff); err != nil {
+				return nil, err
 			}
 		}
 		owner, _, err := c.ring.FindSuccessor(ctx, id)

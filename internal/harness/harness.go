@@ -21,6 +21,9 @@ type Config struct {
 	Seed int64
 	// Quick shrinks sweeps for use inside `go test`.
 	Quick bool
+	// Long grows the virtual-time scale experiments to the paper's
+	// ten-thousand-peer regime (E11); minutes of wall time, so opt-in.
+	Long bool
 }
 
 // Experiment is a named, runnable reproduction of one paper artifact.
@@ -45,6 +48,7 @@ func Experiments() []Experiment {
 		{ID: "E8", Title: "Eventual consistency under churn (soak)", Paper: "conclusion's dynamicity-and-failures claim", Run: RunE8, Default: true},
 		{ID: "E9", Title: "Checkpointed cold-join catch-up & log truncation", Paper: "beyond the paper: snapshot layer bounding catch-up under churn (ROADMAP)", Run: RunE9, Default: true},
 		{ID: "E10", Title: "Self-healing maintenance: fallback checkpoints, slot repair & auto-truncation", Paper: "beyond the paper: maintain engine closing the checkpoint liveness gaps (ROADMAP)", Run: RunE10, Default: true},
+		{ID: "E11", Title: "Virtual-time scale: ring convergence under churn & sustained loss at 1k-10k peers", Paper: "the paper's multi-thousand-peer evaluation regime, via deterministic discrete-event simulation (ROADMAP)", Run: RunE11, Default: true},
 		{ID: "A1", Title: "Ablation: Hr factor vs Log-Peers-Succ vs read repair", Paper: "design-choice ablation (DESIGN.md §3, availability mechanisms)", Run: RunA1, Default: true},
 	}
 }

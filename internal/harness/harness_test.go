@@ -12,8 +12,8 @@ func quickCfg() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 11 {
-		t.Fatalf("have %d experiments, want 11", len(exps))
+	if len(exps) != 12 {
+		t.Fatalf("have %d experiments, want 12", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -65,8 +65,19 @@ func TestE8EventualConsistencyUnderChurn(t *testing.T) {
 
 func runExperiment(t *testing.T, id, wantOutput string) {
 	t.Helper()
+	runExperimentCfg(t, id, wantOutput, Config{Seed: 1, Quick: true})
+}
+
+// runExperimentFull runs an experiment at its default (non-quick) scale.
+func runExperimentFull(t *testing.T, id, wantOutput string) {
+	t.Helper()
+	runExperimentCfg(t, id, wantOutput, Config{Seed: 1})
+}
+
+func runExperimentCfg(t *testing.T, id, wantOutput string, cfg Config) {
+	t.Helper()
 	var buf bytes.Buffer
-	cfg := Config{Out: &buf, Seed: 1, Quick: true}
+	cfg.Out = &buf
 	if err := Run(id, cfg); err != nil {
 		t.Fatalf("%s: %v\noutput so far:\n%s", id, err, buf.String())
 	}

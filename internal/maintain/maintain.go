@@ -60,6 +60,18 @@ const ServiceName = "maintain"
 // the pass rate.
 const DefaultTruncateEvery = 30 * time.Second
 
+// DefaultRepairEvery is the minimum spacing between checkpoint-slot
+// repair probes per key when none is configured. In steady state a probe
+// reads every Hc replica slot plus the pointer records; running that at
+// the full pass rate (every maintenance tick per mastered key) is
+// background read load with no benefit, the same way unthrottled sweeps
+// were before the truncation rate limiter.
+const DefaultRepairEvery = 10 * time.Second
+
+// DefaultMaxCatchupIntervals caps how many missed checkpoint intervals
+// the fallback producer closes in one pass when none is configured.
+const DefaultMaxCatchupIntervals = 4
+
 // Config tunes the engine.
 type Config struct {
 	// Interval is the checkpoint period in committed patches the lag
@@ -71,6 +83,26 @@ type Config struct {
 	// TruncateEvery is the minimum spacing between truncation attempts
 	// per key (DefaultTruncateEvery if zero).
 	TruncateEvery time.Duration
+	// RepairEvery is the minimum spacing between checkpoint-slot repair
+	// probes (and the pointer-record refresh they gate) per key in steady
+	// state (DefaultRepairEvery if zero; negative disables the throttle).
+	// A pass that fallback-produced a checkpoint always repairs
+	// immediately, so healing is never delayed — only re-verification of
+	// already-healthy keys is. While a probe is skipped, truncation is
+	// gated on the previous probe's replication verdict; the stale-verdict
+	// window this opens is at most RepairEvery and risks only the
+	// stronger-than-required full-replication margin, never the
+	// pointer's ≥1-replica retrievability invariant.
+	RepairEvery time.Duration
+	// MaxCatchupIntervals caps how many missed checkpoint intervals the
+	// fallback producer closes in one pass (DefaultMaxCatchupIntervals if
+	// zero; negative removes the cap). The fallback pull replays the log
+	// from the last covered checkpoint, and it runs synchronously on the
+	// shared chord maintenance goroutine — without the cap, the first
+	// pass over a deep no-checkpoint history replays it all inside one
+	// tick and stalls every other service's Maintain. With it, each pass
+	// publishes an intermediate boundary and resumes next tick.
+	MaxCatchupIntervals int
 	// KeepIntervals is a safety margin for automatic truncation: the
 	// newest KeepIntervals*Interval timestamps below the pointer are NOT
 	// reclaimed, so an editor with tentative edits that lags by less
@@ -105,6 +137,10 @@ type Engine struct {
 	mu          sync.Mutex
 	truncatedTo map[string]uint64
 	lastTrunc   map[string]time.Time
+	lastRepair  map[string]time.Time
+	// lastFull caches the newest repair probe's replication verdict so
+	// throttled passes can still gate truncation on it.
+	lastFull map[string]bool
 	// notMaster counts consecutive passes a tracked key was observed
 	// unowned; its bookkeeping is dropped only after several, so a
 	// one-pass Owns() flap during stabilization does not reset the
@@ -124,6 +160,18 @@ func NewEngine(cfg Config, ts *kts.Service, store *checkpoint.Store, log *p2plog
 	if cfg.TruncateEvery <= 0 {
 		cfg.TruncateEvery = DefaultTruncateEvery
 	}
+	switch {
+	case cfg.RepairEvery == 0:
+		cfg.RepairEvery = DefaultRepairEvery
+	case cfg.RepairEvery < 0:
+		cfg.RepairEvery = 0
+	}
+	switch {
+	case cfg.MaxCatchupIntervals == 0:
+		cfg.MaxCatchupIntervals = DefaultMaxCatchupIntervals
+	case cfg.MaxCatchupIntervals < 0:
+		cfg.MaxCatchupIntervals = 0
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -135,6 +183,8 @@ func NewEngine(cfg Config, ts *kts.Service, store *checkpoint.Store, log *p2plog
 		pull:        pull,
 		truncatedTo: make(map[string]uint64),
 		lastTrunc:   make(map[string]time.Time),
+		lastRepair:  make(map[string]time.Time),
+		lastFull:    make(map[string]bool),
 		notMaster:   make(map[string]int),
 		counters:    metrics.NewFamily(),
 	}
@@ -142,7 +192,7 @@ func NewEngine(cfg Config, ts *kts.Service, store *checkpoint.Store, log *p2plog
 
 // Counters exposes the engine's action counter family: passes,
 // fallback-checkpoints, slots-repaired, pointer-refreshes, truncations,
-// slots-truncated, truncations-ratelimited, errors.
+// slots-truncated, truncations-ratelimited, repairs-skipped, errors.
 func (e *Engine) Counters() *metrics.Family { return e.counters }
 
 // Name implements chord.Service.
@@ -181,11 +231,14 @@ func (e *Engine) Maintain(ctx context.Context) {
 	// serves — but only after several consecutive misses, tolerating
 	// Owns() flapping for a pass while the ring stabilizes.
 	e.mu.Lock()
-	tracked := make(map[string]bool, len(e.truncatedTo)+len(e.lastTrunc))
+	tracked := make(map[string]bool, len(e.truncatedTo)+len(e.lastTrunc)+len(e.lastRepair))
 	for key := range e.truncatedTo {
 		tracked[key] = true
 	}
 	for key := range e.lastTrunc {
+		tracked[key] = true
+	}
+	for key := range e.lastRepair {
 		tracked[key] = true
 	}
 	for key := range tracked {
@@ -197,6 +250,8 @@ func (e *Engine) Maintain(ctx context.Context) {
 		if e.notMaster[key] >= dropAfterMisses {
 			delete(e.lastTrunc, key)
 			delete(e.truncatedTo, key)
+			delete(e.lastRepair, key)
+			delete(e.lastFull, key)
 			delete(e.notMaster, key)
 		}
 	}
@@ -207,6 +262,7 @@ func (e *Engine) maintainKey(ctx context.Context, st kts.KeyState) {
 	// (1) Fallback checkpoint production. The local pointer may lag the
 	// DHT record (unsynced replica entry after failover), so consult the
 	// published pointer before committing to an expensive reconstruction.
+	produced := false
 	if e.cfg.Interval > 0 && st.LastTS >= e.cfg.Interval {
 		boundary := st.LastTS - st.LastTS%e.cfg.Interval
 		if boundary > st.CkptTS {
@@ -215,18 +271,44 @@ func (e *Engine) maintainKey(ctx context.Context, st kts.KeyState) {
 			}
 		}
 		if boundary > st.CkptTS {
+			// Cap the catch-up: each pass closes at most
+			// MaxCatchupIntervals intervals past the covered prefix,
+			// publishing an intermediate boundary and resuming next tick,
+			// so a deep no-checkpoint history never replays in full on
+			// the shared chord maintenance goroutine.
+			if steps := uint64(e.cfg.MaxCatchupIntervals); steps > 0 {
+				if limit := st.CkptTS - st.CkptTS%e.cfg.Interval + steps*e.cfg.Interval; boundary > limit {
+					boundary = limit
+				}
+			}
 			if ts, ok := e.produce(ctx, st.Key, boundary); ok {
 				st.CkptTS = ts
+				produced = true
 			}
 		}
 	}
 
-	// (2) Checkpoint replica and pointer-record repair.
-	full := false
-	if st.CkptTS > 0 {
+	// (2) Checkpoint replica and pointer-record repair, throttled per key
+	// in steady state: re-verifying a healthy checkpoint every pass is
+	// pure background read load. A pass that just produced runs the
+	// repair unconditionally — the fresh slots deserve a verdict.
+	if st.CkptTS == 0 {
+		return
+	}
+	now := e.cfg.Now()
+	e.mu.Lock()
+	last, haveLast := e.lastRepair[st.Key]
+	full := e.lastFull[st.Key]
+	probe := produced || e.cfg.RepairEvery <= 0 || !haveLast || now.Sub(last) >= e.cfg.RepairEvery
+	if probe {
+		e.lastRepair[st.Key] = now
+	}
+	e.mu.Unlock()
+	if probe {
 		repaired, f, err := e.store.Repair(ctx, st.Key, st.CkptTS)
 		if err != nil {
 			e.counters.Counter("errors").Add(1)
+			full = false
 		} else {
 			full = f
 			if repaired > 0 {
@@ -245,11 +327,16 @@ func (e *Engine) maintainKey(ctx context.Context, st kts.KeyState) {
 				}
 			}
 		}
+		e.mu.Lock()
+		e.lastFull[st.Key] = full
+		e.mu.Unlock()
+	} else {
+		e.counters.Counter("repairs-skipped").Add(1)
 	}
 
-	// (3) Rate-limited truncation, gated on step 2's replication verdict
-	// (re-probing the same checkpoint through TruncateLog would double
-	// the background slot reads).
+	// (3) Rate-limited truncation, gated on the newest probe's
+	// replication verdict (re-probing the same checkpoint through
+	// TruncateLog would double the background slot reads).
 	if full {
 		e.maybeTruncate(ctx, st)
 	}

@@ -151,7 +151,7 @@ func TestFallbackProducerHealsMissedBoundary(t *testing.T) {
 // silently, so without repair the degree erodes forever.
 func TestRepairsLostCheckpointSlots(t *testing.T) {
 	const interval = 4
-	c := newMaintCluster(t, 5, interval, maintain.Config{TruncateEvery: time.Hour})
+	c := newMaintCluster(t, 5, interval, maintain.Config{TruncateEvery: time.Hour, RepairEvery: -1})
 	key := "lost-slot"
 	ctx := context.Background()
 	w := core.NewReplica(c.Peers[0], key, "author")
@@ -277,6 +277,103 @@ func TestNoopWhenAuthorCheckpointed(t *testing.T) {
 	}
 	if ptr := pointer(t, c, key); ptr != interval {
 		t.Fatalf("pointer moved to %d on a healthy key", ptr)
+	}
+}
+
+// TestRepairIntervalThrottlesSteadyState: checkpoint-slot repair probes
+// run at the full maintenance pass rate only until the first verdict;
+// afterwards they respect RepairEvery, so a healthy key stops paying
+// |Hc|+pointer background reads every tick. The injected clock drives
+// the window deterministically.
+func TestRepairIntervalThrottlesSteadyState(t *testing.T) {
+	const interval = 4
+	var (
+		mu  sync.Mutex
+		now = time.Now()
+	)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	c := newMaintCluster(t, 5, interval, maintain.Config{
+		TruncateEvery: time.Hour,
+		RepairEvery:   time.Hour,
+		Now:           clock,
+	})
+	key := "repair-throttle"
+	ctx := context.Background()
+	w := core.NewReplica(c.Peers[0], key, "author")
+	commit(t, w, interval)
+	waitPointer(t, c, key, interval)
+
+	// Let passes accumulate with the clock frozen: repair must have run
+	// at most once (the first verdict) while skipped passes are counted.
+	deadline := time.Now().Add(20 * time.Second)
+	for counters(c)["repairs-skipped"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no pass skipped repair inside the window; counters %v", counters(c))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A slot lost inside the window stays lost — the probe is throttled.
+	slot := ids.CheckpointHash(0, key, interval)
+	if _, err := c.Peers[0].Client.DeleteID(ctx, slot); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // many passes, all inside the window
+	if _, found, _ := c.Peers[0].Client.GetID(ctx, slot); found {
+		t.Fatal("slot repaired inside the RepairEvery window")
+	}
+
+	// Once the window passes, the next probe repairs it.
+	advance(2 * time.Hour)
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		if _, found, _ := c.Peers[0].Client.GetID(ctx, slot); found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never repaired after the window passed; counters %v", counters(c))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap := counters(c); snap["slots-repaired"] == 0 {
+		t.Fatalf("slot reappeared without the repair counter moving: %v", snap)
+	}
+}
+
+// TestFallbackCatchupCapped: a deep history with no checkpoints at all
+// is closed stepwise — at most MaxCatchupIntervals intervals per pass,
+// publishing the intermediate boundaries on the way — instead of one
+// pass replaying everything on the shared maintenance goroutine.
+func TestFallbackCatchupCapped(t *testing.T) {
+	const (
+		interval   = 2
+		boundaries = 4
+	)
+	c := newMaintCluster(t, 5, interval, maintain.Config{
+		TruncateEvery:       time.Hour,
+		MaxCatchupIntervals: 1,
+	})
+	key := "deep-history"
+	w := core.NewReplica(c.Peers[0], key, "author")
+	w.SetCheckpointProduction(false)
+	commit(t, w, boundaries*interval)
+
+	waitPointer(t, c, key, boundaries*interval)
+	snap := counters(c)
+	// One fallback production per boundary: the cap forces every
+	// intermediate boundary to be published on the way to the newest.
+	if snap["fallback-checkpoints"] < boundaries {
+		t.Fatalf("pointer reached %d with only %d fallback productions, want one per boundary (%d): %v",
+			boundaries*interval, snap["fallback-checkpoints"], boundaries, snap)
 	}
 }
 

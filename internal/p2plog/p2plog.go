@@ -19,9 +19,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"p2pltr/internal/dht"
 	"p2pltr/internal/ids"
+	"p2pltr/internal/vclock"
 )
 
 // DefaultReplicas is the size of Hr used when none is configured.
@@ -50,6 +52,7 @@ type Log struct {
 	replicas   int
 	readRepair bool
 	prefetch   int
+	clock      vclock.Clock
 }
 
 // New returns a log view with the given replication factor n = |Hr|
@@ -61,8 +64,14 @@ func New(c *dht.Client, replicas int) *Log {
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
-	return &Log{c: c, replicas: replicas, readRepair: true, prefetch: defaultPrefetch}
+	return &Log{c: c, replicas: replicas, readRepair: true, prefetch: defaultPrefetch, clock: vclock.System}
 }
+
+// SetClock tracks the windowed-retrieval worker goroutines on c, so
+// virtual-time simulations can account for them. Default: wall clock.
+// Wiring-time configuration: call it before the log serves any
+// operation (the field is read without synchronization).
+func (l *Log) SetClock(c vclock.Clock) { l.clock = vclock.OrSystem(c) }
 
 // SetReadRepair toggles fetch-time re-replication (used by the E6
 // availability ablation to measure the bare replication factor).
@@ -252,12 +261,12 @@ func (l *Log) mapWindowed(ctx context.Context, from, to uint64, fn func(ts uint6
 		var wg sync.WaitGroup
 		for i := 0; i < n; i++ {
 			wg.Add(1)
-			go func(i int) {
+			l.clock.Go(func() {
 				defer wg.Done()
 				errs[i] = fn(base + uint64(i))
-			}(i)
+			})
 		}
-		wg.Wait()
+		l.clock.Block(wg.Wait)
 		for i := 0; i < n; i++ {
 			if err := done(base+uint64(i), errs[i]); err != nil {
 				return err
@@ -334,7 +343,10 @@ func (l *Log) TruncateRange(ctx context.Context, key string, afterTS, upToTS uin
 	if upToTS <= afterTS {
 		return 0, nil
 	}
-	counts := make([]int, upToTS-afterTS)
+	// One atomic counter instead of a per-ts slice: a fresh master's
+	// first sweep over a deep pointer spans millions of timestamps, and
+	// the O(range) slice existed only to ferry per-window delete counts.
+	var removed atomic.Int64
 	var lastErr error
 	werr := l.mapWindowed(ctx, afterTS+1, upToTS,
 		func(ts uint64) error {
@@ -346,18 +358,18 @@ func (l *Log) TruncateRange(ctx context.Context, key string, afterTS, upToTS uin
 					continue
 				}
 				if ok {
-					counts[ts-afterTS-1]++
+					removed.Add(1)
 				}
 			}
 			return derrLast
 		},
 		func(ts uint64, fnErr error) error {
-			deleted += counts[ts-afterTS-1]
 			if fnErr != nil {
 				lastErr = fnErr
 			}
 			return nil
 		})
+	deleted = int(removed.Load())
 	if werr != nil {
 		return deleted, werr
 	}

@@ -1,0 +1,235 @@
+package vclock
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// driver registers the test goroutine with the clock for the duration of
+// the test.
+func driver(t *testing.T, v *Virtual) {
+	t.Helper()
+	v.Register()
+	t.Cleanup(v.Unregister)
+}
+
+func TestVirtualSleepAdvancesTime(t *testing.T) {
+	v := NewVirtual()
+	driver(t, v)
+	start := v.Now()
+	if err := v.Sleep(context.Background(), 90*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Since(start); got != 90*time.Minute {
+		t.Fatalf("slept %v of virtual time, want exactly 90m", got)
+	}
+}
+
+func TestVirtualSleepOrdering(t *testing.T) {
+	v := NewVirtual()
+	driver(t, v)
+	var (
+		mu    sync.Mutex
+		order []string
+	)
+	note := func(tag string) {
+		mu.Lock()
+		order = append(order, tag)
+		mu.Unlock()
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for _, g := range []struct {
+		tag string
+		d   time.Duration
+	}{{"slow", 30 * time.Millisecond}, {"fast", 10 * time.Millisecond}, {"mid", 20 * time.Millisecond}} {
+		v.Go(func() {
+			defer wg.Done()
+			_ = v.Sleep(ctx, g.d)
+			note(g.tag)
+		})
+	}
+	// Sleeping past every waiter also waits out the workers' wakes: each
+	// fires strictly before the driver's later deadline.
+	_ = v.Sleep(ctx, 50*time.Millisecond)
+	wg.Wait()
+	if want := []string{"fast", "mid", "slow"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("wake order %v, want %v", order, want)
+	}
+}
+
+func TestVirtualTickerPeriodAndLatch(t *testing.T) {
+	v := NewVirtual()
+	driver(t, v)
+	ctx := context.Background()
+	tick := v.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	start := v.Now()
+	for i := 0; i < 5; i++ {
+		if err := tick.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.Since(start); got != 50*time.Millisecond {
+		t.Fatalf("5 ticks took %v of virtual time, want 50ms", got)
+	}
+	// A tick that comes due while the owner is busy elsewhere is latched:
+	// the next Wait returns it without sleeping, and missed grid points
+	// do not pile up.
+	_ = v.Sleep(ctx, 35*time.Millisecond)
+	before := v.Now()
+	if err := tick.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Since(before); got != 0 {
+		t.Fatalf("latched tick slept %v, want immediate delivery", got)
+	}
+	if err := tick.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Since(before); got <= 0 || got > 10*time.Millisecond {
+		t.Fatalf("tick after latch came %v later, want within one period", got)
+	}
+}
+
+func TestVirtualWithTimeoutBoundsSleep(t *testing.T) {
+	v := NewVirtual()
+	driver(t, v)
+	ctx, cancel := v.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := v.Now()
+	err := v.Sleep(ctx, time.Hour)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if got := v.Since(start); got != 25*time.Millisecond {
+		t.Fatalf("deadline fired after %v, want 25ms", got)
+	}
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Fatalf("ctx.Err() = %v after deadline", ctx.Err())
+	}
+	if dl, ok := ctx.Deadline(); !ok || !dl.Equal(start.Add(25*time.Millisecond)) {
+		t.Fatalf("Deadline() = %v,%v", dl, ok)
+	}
+}
+
+func TestVirtualCancelWakesParked(t *testing.T) {
+	v := NewVirtual()
+	driver(t, v)
+	ctx, cancel := v.WithCancel(context.Background())
+	woken := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	v.Go(func() {
+		defer wg.Done()
+		woken <- v.Sleep(ctx, time.Hour)
+	})
+	// Give the worker a moment of virtual time to park, then cancel: the
+	// worker must wake with the context error without the clock running
+	// out the full hour.
+	_ = v.Sleep(context.Background(), time.Millisecond)
+	start := v.Now()
+	cancel()
+	v.Block(wg.Wait)
+	if err := <-woken; err != context.Canceled {
+		t.Fatalf("parked sleeper woke with %v, want Canceled", err)
+	}
+	if got := v.Since(start); got != 0 {
+		t.Fatalf("cancel advanced virtual time by %v", got)
+	}
+}
+
+func TestVirtualBlockDetaches(t *testing.T) {
+	v := NewVirtual()
+	driver(t, v)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	v.Go(func() {
+		defer wg.Done()
+		_ = v.Sleep(context.Background(), time.Second)
+		close(done)
+	})
+	// Without Block this would deadlock: the driver stays active while
+	// waiting, and virtual time could never advance to fire the sleeper.
+	v.Block(func() { <-done })
+	wg.Wait()
+	if got := v.Since(time.Unix(0, 0).UTC()); got != time.Second {
+		t.Fatalf("virtual time at %v, want 1s", got)
+	}
+}
+
+// TestVirtualDeterministicInterleaving runs the same multi-goroutine
+// schedule twice and requires the identical event order — the property
+// the scale experiments' reproducibility rests on.
+func TestVirtualDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		v := NewVirtual()
+		v.Register()
+		defer v.Unregister()
+		var (
+			mu    sync.Mutex
+			order []string
+		)
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			id := byte('a' + i)
+			period := time.Duration(3+i) * time.Millisecond
+			tick := v.NewTicker(period)
+			v.Go(func() {
+				defer wg.Done()
+				defer tick.Stop()
+				for j := 0; j < 5; j++ {
+					if tick.Wait(ctx) != nil {
+						return
+					}
+					mu.Lock()
+					order = append(order, string(id)+v.Now().Format(".000000"))
+					mu.Unlock()
+				}
+			})
+		}
+		_ = v.Sleep(ctx, 50*time.Millisecond)
+		v.Block(wg.Wait)
+		return order
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical schedules diverged:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) != 20 {
+		t.Fatalf("recorded %d ticks, want 20", len(a))
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := System
+	start := c.Now()
+	if err := c.Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if c.Since(start) <= 0 {
+		t.Fatal("real clock did not advance")
+	}
+	ctx, cancel := c.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := c.Sleep(ctx, time.Second); err == nil {
+		t.Fatal("sleep outlived its context deadline")
+	}
+	tick := c.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	if err := tick.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cctx, ccancel := c.WithCancel(context.Background())
+	ccancel()
+	if err := tick.Wait(cctx); err != context.Canceled {
+		t.Fatalf("Wait on cancelled ctx = %v", err)
+	}
+}

@@ -1,0 +1,431 @@
+package vclock
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Virtual is a deterministic discrete-event clock. Goroutines register
+// with it (Go, or Register/Unregister for the driving goroutine) and
+// park on it through Sleep and Ticker.Wait; when every registered
+// goroutine is parked, the goroutine that parked last advances virtual
+// time to the earliest pending deadline and wakes exactly one waiter.
+// Execution is therefore cooperative and effectively single-threaded:
+// given the same seed-driven inputs, the same sequence of events replays
+// on every run, which is what makes thousand-peer simulations both fast
+// (no real sleeping anywhere) and reproducible.
+//
+// Rules for deterministic use:
+//
+//   - every goroutine that can park must be started via Go (or bracketed
+//     by Register/Unregister); an untracked goroutine parking would
+//     corrupt the quiescence count;
+//   - operations that block on anything the clock cannot see (WaitGroup
+//     waits for untracked work, channel receives) must be wrapped in
+//     Block so time can advance past them;
+//   - contexts that get cancelled while a goroutine is parked must come
+//     from this clock's WithCancel/WithTimeout, whose cancel functions
+//     wake the affected waiters.
+//
+// Virtual time starts at the Unix epoch. Real wall-clock deadlines
+// (year >> 1970) attached to foreign contexts are effectively infinite
+// and are ignored, so mixing a stray context.WithTimeout into a
+// simulation degrades to "no deadline" rather than a time warp.
+type Virtual struct {
+	mu         sync.Mutex
+	now        time.Time
+	nowNano    atomic.Int64
+	seq        uint64
+	active     int // registered goroutines currently runnable
+	registered int // registered goroutines, runnable or parked
+	blocked    int // goroutines detached inside Block
+	timers     entryHeap
+	awaited    map[*entry]struct{}     // entries a goroutine is parked on
+	ctxWaiters map[context.Context]int // parked entries per exact context
+}
+
+// entry is one scheduled wake-up on the virtual timeline. Entries are
+// ordered by (deadline, seq): seq is assigned at arm time, so events due
+// at the same instant fire in creation order.
+type entry struct {
+	deadline time.Time
+	seq      uint64
+	ctx      context.Context // non-nil while a goroutine is parked on it
+	awaited  bool
+	fired    bool
+	removed  bool
+	err      error // non-nil when woken by cancellation or deadline
+	wake     chan struct{}
+}
+
+// NewVirtual returns a virtual clock at the Unix epoch with no
+// registered goroutines.
+func NewVirtual() *Virtual {
+	v := &Virtual{
+		now:        time.Unix(0, 0).UTC(),
+		awaited:    make(map[*entry]struct{}),
+		ctxWaiters: make(map[context.Context]int),
+	}
+	v.nowNano.Store(0)
+	return v
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time { return time.Unix(0, v.nowNano.Load()).UTC() }
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Register adds the calling goroutine to the clock's accounting. The
+// driver of a simulation calls it once before interacting with
+// clock-driven components (and Unregister when done); goroutines started
+// with Go are registered automatically.
+func (v *Virtual) Register() {
+	v.mu.Lock()
+	v.registered++
+	v.active++
+	v.mu.Unlock()
+}
+
+// Unregister removes the calling goroutine from the clock's accounting,
+// advancing time if everyone else is parked.
+func (v *Virtual) Unregister() {
+	v.mu.Lock()
+	v.registered--
+	v.active--
+	v.advanceLocked()
+	v.mu.Unlock()
+}
+
+// Go implements Clock.
+func (v *Virtual) Go(f func()) {
+	v.Register()
+	go func() {
+		defer v.Unregister()
+		f()
+	}()
+}
+
+// Block implements Clock: it detaches the calling goroutine while f
+// blocks on something the clock cannot see.
+func (v *Virtual) Block(f func()) {
+	v.mu.Lock()
+	v.active--
+	v.blocked++
+	v.advanceLocked()
+	v.mu.Unlock()
+	defer func() {
+		v.mu.Lock()
+		v.active++
+		v.blocked--
+		v.mu.Unlock()
+	}()
+	f()
+}
+
+// Sleep implements Clock. The wake-up is capped at ctx's deadline when
+// that deadline is expressed on this clock (see WithTimeout); sleeping
+// past it returns context.DeadlineExceeded, mirroring how a real-time
+// wait inside an expiring context surfaces.
+func (v *Virtual) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	wake := v.now.Add(d)
+	deadlined := false
+	if dl, ok := ctx.Deadline(); ok && dl.Before(wake) {
+		wake = dl
+		deadlined = true
+	}
+	if !wake.After(v.now) {
+		v.mu.Unlock()
+		if deadlined {
+			return context.DeadlineExceeded
+		}
+		return ctx.Err()
+	}
+	e := v.armLocked(wake)
+	err := v.parkLocked(e, ctx)
+	v.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if deadlined {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// NewTicker implements Clock. The first tick is armed immediately (on
+// the calling goroutine, so creation order fixes same-instant tick
+// order); later ticks re-arm as each Wait consumes its predecessor.
+func (v *Virtual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker period")
+	}
+	v.mu.Lock()
+	t := &virtualTicker{v: v, period: d}
+	t.e = v.armLocked(v.now.Add(d))
+	v.mu.Unlock()
+	return t
+}
+
+// WithTimeout implements Clock. The deadline lives on the virtual
+// timeline; it is surfaced lazily through Deadline()/Err() and enforced
+// by Sleep, not by closing Done (see the Clock docs).
+func (v *Virtual) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	inner, cancel := context.WithCancel(parent)
+	dl := v.Now().Add(d)
+	if pdl, ok := parent.Deadline(); ok && pdl.Before(dl) {
+		dl = pdl
+	}
+	ctx := &vctx{Context: inner, v: v, deadline: dl}
+	return ctx, func() {
+		cancel()
+		v.wakeExact(ctx)
+	}
+}
+
+// WithCancel implements Clock. The returned cancel function wakes every
+// parked goroutine whose context became done, which is how external
+// shutdown (a node Stop during simulated churn) interrupts parked
+// maintenance loops without waiting out their timers.
+func (v *Virtual) WithCancel(parent context.Context) (context.Context, context.CancelFunc) {
+	inner, cancel := context.WithCancel(parent)
+	return inner, func() {
+		cancel()
+		v.wakeCancelled()
+	}
+}
+
+// vctx carries a virtual-time deadline on top of a cancellable context.
+type vctx struct {
+	context.Context
+	v        *Virtual
+	deadline time.Time
+}
+
+func (c *vctx) Deadline() (time.Time, bool) { return c.deadline, true }
+
+func (c *vctx) Err() error {
+	if err := c.Context.Err(); err != nil {
+		return err
+	}
+	if !c.v.Now().Before(c.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// armLocked schedules a wake-up at deadline. Caller holds v.mu.
+func (v *Virtual) armLocked(deadline time.Time) *entry {
+	v.seq++
+	e := &entry{deadline: deadline, seq: v.seq, wake: make(chan struct{})}
+	heap.Push(&v.timers, e)
+	return e
+}
+
+// parkLocked blocks the calling goroutine on e until the scheduler (or a
+// cancellation) fires it, returning the wake error. Caller holds v.mu;
+// parkLocked re-acquires it before returning.
+func (v *Virtual) parkLocked(e *entry, ctx context.Context) error {
+	// Re-check cancellation under v.mu: wakeCancelled only wakes entries
+	// parked at the instant it runs, so a goroutine whose ctx was
+	// cancelled between its own Err() pre-check and this point must not
+	// park — nothing would ever wake it, and a frozen waiter freezes the
+	// whole virtual timeline. The lock serializes against the cancel
+	// path, closing the window.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			e.removed = true
+			return err
+		}
+	}
+	e.awaited = true
+	e.ctx = ctx
+	v.awaited[e] = struct{}{}
+	if ctx != nil {
+		v.ctxWaiters[ctx]++
+	}
+	v.active--
+	v.advanceLocked()
+	v.mu.Unlock()
+	<-e.wake
+	v.mu.Lock()
+	delete(v.awaited, e)
+	if ctx != nil {
+		if v.ctxWaiters[ctx]--; v.ctxWaiters[ctx] <= 0 {
+			delete(v.ctxWaiters, ctx)
+		}
+	}
+	e.ctx = nil
+	return e.err
+}
+
+// advanceLocked is the scheduler: when every registered goroutine is
+// parked, it advances virtual time to the earliest pending deadline and
+// fires it. Exactly one parked goroutine wakes per event; an unawaited
+// ticker tick (its owner is busy elsewhere) is latched and time keeps
+// advancing. Caller holds v.mu.
+func (v *Virtual) advanceLocked() {
+	for v.active == 0 && v.registered > 0 {
+		e := v.popLocked()
+		if e == nil {
+			if v.blocked > 0 {
+				// No timers, but someone is detached inside Block: their
+				// operation completes through external means and
+				// reattaches, so this is quiescence, not deadlock.
+				return
+			}
+			panic(fmt.Sprintf(
+				"vclock: deadlock at %s: %d goroutine(s) parked with no pending timers",
+				v.now.Format("15:04:05.000"), v.registered))
+		}
+		if e.deadline.After(v.now) {
+			v.now = e.deadline
+			v.nowNano.Store(e.deadline.UnixNano())
+		}
+		e.fired = true
+		close(e.wake)
+		if e.awaited {
+			v.active++
+			return
+		}
+	}
+}
+
+// popLocked returns the earliest live entry, discarding fired and
+// removed ones. Caller holds v.mu.
+func (v *Virtual) popLocked() *entry {
+	for v.timers.Len() > 0 {
+		e := heap.Pop(&v.timers).(*entry)
+		if e.fired || e.removed {
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// wakeExact wakes goroutines parked on exactly ctx. It is the cheap
+// cancel path for WithTimeout contexts: per-call timeouts are cancelled
+// after every RPC, almost always with nobody parked, so this must be
+// O(1) in that case.
+func (v *Virtual) wakeExact(ctx context.Context) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.ctxWaiters[ctx] == 0 {
+		return
+	}
+	for e := range v.awaited {
+		if e.fired || e.ctx != ctx {
+			continue
+		}
+		v.fireCancelledLocked(e)
+	}
+}
+
+// wakeCancelled wakes every parked goroutine whose context is done —
+// including contexts derived from the cancelled one, which the clock
+// cannot enumerate directly. Linear in the number of parked goroutines;
+// called only on shutdown/crash paths.
+func (v *Virtual) wakeCancelled() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for e := range v.awaited {
+		if e.fired || e.ctx == nil || e.ctx.Err() == nil {
+			continue
+		}
+		v.fireCancelledLocked(e)
+	}
+}
+
+// fireCancelledLocked wakes one parked entry with its context error.
+// Caller holds v.mu and has checked e is awaited and unfired.
+func (v *Virtual) fireCancelledLocked(e *entry) {
+	e.fired = true
+	e.err = e.ctx.Err()
+	if e.err == nil {
+		e.err = context.Canceled
+	}
+	v.active++
+	close(e.wake)
+}
+
+// virtualTicker implements Ticker on a Virtual clock. The next tick is
+// always armed: at creation, and re-armed as each Wait consumes the
+// previous one, so tick times are aligned to the period grid regardless
+// of how long the owner spends between Waits (missed grid points are
+// skipped, as with time.Ticker).
+type virtualTicker struct {
+	v       *Virtual
+	period  time.Duration
+	e       *entry
+	stopped bool
+}
+
+func (t *virtualTicker) Wait(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	v := t.v
+	v.mu.Lock()
+	if t.stopped {
+		v.mu.Unlock()
+		return context.Canceled
+	}
+	e := t.e
+	var err error
+	if e.fired {
+		err = e.err // latched tick: consume without parking
+	} else {
+		err = v.parkLocked(e, ctx)
+	}
+	next := e.deadline.Add(t.period)
+	if !next.After(v.now) {
+		next = v.now.Add(t.period)
+	}
+	t.e = v.armLocked(next)
+	v.mu.Unlock()
+	return err
+}
+
+func (t *virtualTicker) Stop() {
+	t.v.mu.Lock()
+	t.stopped = true
+	if t.e != nil {
+		t.e.removed = true
+		t.e = nil
+	}
+	t.v.mu.Unlock()
+}
+
+// entryHeap is a min-heap over (deadline, seq).
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+
+func (h entryHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *entryHeap) Push(x any) { *h = append(*h, x.(*entry)) }
+
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
