@@ -288,6 +288,13 @@ func (s *Store) LatestPointer(ctx context.Context, key string) (uint64, error) {
 // replication of that checkpoint, and only then truncates the P2P-Log up
 // to the checkpoint timestamp. It returns the covered timestamp (0 when
 // nothing was truncated) and the number of slot replicas removed.
+//
+// The truncation also declares the checkpoint timestamp the key's
+// truncation low-water mark on every contacted Log-Peer (see
+// p2plog.TruncateTo): stale successor copies of the reclaimed prefix
+// can then never be promoted back, which is what makes cutting
+// write-once history under a churning ring safe rather than merely
+// probabilistic.
 func (s *Store) TruncateLog(ctx context.Context, log *p2plog.Log, key string) (upTo uint64, deleted int, err error) {
 	ptr, err := s.LatestPointer(ctx, key)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2pltr/internal/ids"
@@ -61,6 +62,13 @@ type Config struct {
 	// the wall clock (production behavior); a *vclock.Virtual runs the
 	// node in simulated time for large-scale deterministic experiments.
 	Clock vclock.Clock
+	// OnEvict, when non-nil, observes every routing-state eviction this
+	// node performs. The scale experiments use it to classify evictions
+	// (a dead peer evicted is repair; a live peer evicted is
+	// loss-induced churn). Called synchronously on the evicting
+	// goroutine; implementations must be fast and must not call back
+	// into the node.
+	OnEvict func(dead msg.NodeRef)
 }
 
 // DefaultConfig suits real deployments over TCP.
@@ -122,6 +130,7 @@ type Ring interface {
 	Predecessor() msg.NodeRef
 	FindSuccessor(ctx context.Context, key ids.ID) (msg.NodeRef, int, error)
 	Call(ctx context.Context, to transport.Addr, req msg.Message) (msg.Message, error)
+	CallWithTimeout(ctx context.Context, to transport.Addr, req msg.Message, d time.Duration) (msg.Message, error)
 	Owns(key ids.ID) bool
 }
 
@@ -146,15 +155,16 @@ type Node struct {
 	// memory is its only way back into the ring (see mergeCycles).
 	evicted []msg.NodeRef
 	// suspects tracks unconfirmed failures of the periodic liveness
-	// probes (stabilize's successor probe, check-predecessor). One
-	// missed deadline only suspects (semi-synchronous model); eviction
-	// needs a confirming second failure within the recency window,
-	// because under sustained message loss single-failure eviction makes
-	// the ring structure itself flap — every false successor eviction is
-	// a wrong pointer the next rounds must repair. Lookup-path failures
-	// still evict immediately: a lookup must route around a dead hop
-	// now, and the healthier stabilization cheaply re-adopts a falsely
-	// evicted peer.
+	// probes (stabilize's successor probe, check-predecessor) and of
+	// lookup-path hops. One missed deadline only suspects
+	// (semi-synchronous model); eviction needs confirming repeat
+	// failures within the recency window, because under sustained
+	// message loss single-failure eviction makes the ring structure
+	// itself flap — every false eviction is a wrong pointer the next
+	// rounds must repair. Lookups route around a failed hop immediately
+	// through their per-call avoid set, so immediacy no longer requires
+	// eviction; their strike budget scales with the observed loss rate
+	// (lookupStrikeBudget).
 	suspects map[string]suspicion
 	started  bool
 	stopped  bool
@@ -164,10 +174,17 @@ type Node struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	// lookupHops accumulates hop counts for experiments.
+	// lookupHops accumulates hop counts for experiments; lossEWMA is the
+	// observed lookup-path loss estimate that scales the eviction strike
+	// budget (see lookupStrikeBudget).
 	statsMu     sync.Mutex
 	lookupCount int64
 	hopTotal    int64
+	lossEWMA    float64
+
+	// evictions counts routing-state evictions — the finger-churn metric
+	// the scale experiments watch under sustained loss.
+	evictions atomic.Int64
 }
 
 // NewNode creates a node bound to ep. The node's ring ID is the hash of
@@ -260,8 +277,21 @@ func (n *Node) Owns(key ids.ID) bool {
 // (the semi-synchronous model's failure-suspicion bound). The timeout
 // composes with any caller deadline — whichever expires first wins — so a
 // lost message costs one CallTimeout, not the caller's whole budget.
+//
+// CallTimeout is sized for single-round-trip exchanges (maintenance
+// probes, DHT puts/gets). An RPC whose HANDLER performs nested network
+// work — patch validation fans out to the Log-Peers, each publish with
+// its own lookup — cannot finish inside it on a realistic-latency
+// network; such callers must use CallWithTimeout with an
+// application-level budget instead.
 func (n *Node) Call(ctx context.Context, to transport.Addr, req msg.Message) (msg.Message, error) {
-	ctx, cancel := n.clock.WithTimeout(ctx, n.cfg.CallTimeout)
+	return n.CallWithTimeout(ctx, to, req, n.cfg.CallTimeout)
+}
+
+// CallWithTimeout implements Ring: Call with an explicit per-call
+// deadline for multi-round-trip application RPCs (see Call).
+func (n *Node) CallWithTimeout(ctx context.Context, to transport.Addr, req msg.Message, d time.Duration) (msg.Message, error) {
+	ctx, cancel := n.clock.WithTimeout(ctx, d)
 	defer cancel()
 	if to == n.ep.Addr() {
 		// Local fast path: avoids transport self-dial and lock reentrancy
@@ -308,7 +338,7 @@ func (n *Node) Join(ctx context.Context, bootstrap transport.Addr) error {
 		// instead converges eventually (stabilization adopts succ.pred
 		// round by round) but costs O(ring distance) stabilize periods —
 		// minutes on a thousand-peer ring.
-		if succ, _, err = n.walk(ctx, fs.Node, ids.Add(n.id, 1), 1); err != nil {
+		if succ, _, err = n.walk(ctx, fs.Node, ids.Add(n.id, 1), 1, nil); err != nil {
 			return fmt.Errorf("chord: join via %s: %w", bootstrap, err)
 		}
 	}
@@ -482,6 +512,11 @@ func (n *Node) Running() bool {
 	defer n.mu.RUnlock()
 	return n.started && !n.stopped
 }
+
+// Evictions returns how many times this node evicted a peer from its
+// routing state (fingers, successor list, predecessor) — each eviction
+// is churn the following stabilization rounds must repair.
+func (n *Node) Evictions() int64 { return n.evictions.Load() }
 
 // LookupStats returns the number of lookups initiated at this node and
 // their mean hop count.

@@ -93,7 +93,7 @@ func (n *Node) mergeCycles(ctx context.Context) {
 	if cand.IsZero() {
 		return
 	}
-	y, _, err := n.walk(ctx, cand, ids.Add(n.id, 1), 0)
+	y, _, err := n.walk(ctx, cand, ids.Add(n.id, 1), 0, nil)
 	if err != nil || y.IsZero() || y.ID == n.id || y.ID == succ.ID {
 		return
 	}
@@ -232,7 +232,7 @@ func (n *Node) fixFingers(ctx context.Context) {
 	n.mu.Unlock()
 
 	target := ids.PowerOfTwoOffset(n.id, i)
-	ref, _, err := n.lookupOnce(ctx, target)
+	ref, _, err := n.lookupOnce(ctx, target, nil)
 	if err != nil {
 		return // transient; next round will retry
 	}

@@ -36,6 +36,15 @@ type Options struct {
 	ClientAttempts int
 	// ClientBackoff separates retries (default 2x stabilize interval).
 	ClientBackoff time.Duration
+	// MasterOpTimeout bounds one master-key operation attempt (validate,
+	// last_ts, checkpoint announce). These RPCs are NOT single round
+	// trips — the master's handler publishes to the Log-Peers, walks the
+	// log to re-synchronize after failover, verifies checkpoint slots —
+	// so the chord CallTimeout (the one-round-trip failure-suspicion
+	// bound) must not cap them: under realistic latency a validation
+	// would then time out every time regardless of health. Default:
+	// 20x the chord CallTimeout, at least 10s.
+	MasterOpTimeout time.Duration
 	// CheckpointInterval makes replicas on this peer snapshot a document
 	// into the DHT every CheckpointInterval committed patches (the author
 	// of the boundary patch is the elected producer). 0 disables
@@ -83,6 +92,12 @@ func (o Options) withDefaults() Options {
 	if o.CheckpointReplicas == 0 {
 		o.CheckpointReplicas = o.LogReplicas
 	}
+	if o.MasterOpTimeout == 0 {
+		o.MasterOpTimeout = 20 * o.Chord.CallTimeout
+		if o.MasterOpTimeout < 10*time.Second {
+			o.MasterOpTimeout = 10 * time.Second
+		}
+	}
 	return o
 }
 
@@ -120,6 +135,7 @@ func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 	p.Log.SetClock(opts.Clock)
 	p.Ckpt = checkpoint.NewStore(p.Client, opts.CheckpointReplicas)
 	p.KTS = kts.NewService(node, p.Log)
+	p.KTS.SetClock(opts.Clock)
 	p.KTS.SetCheckpointStore(p.Ckpt)
 	node.Attach(p.DHT)
 	node.Attach(p.KTS)

@@ -638,7 +638,10 @@ func (r *Replica) callMasterRaw(ctx context.Context, req msg.Message, notMaster 
 			lastErr = err
 			continue
 		}
-		resp, err := r.peer.Node.Call(ctx, transport.Addr(master.Addr), req)
+		// Master operations run nested network work inside their handler,
+		// so they get the application-level budget, not the chord
+		// CallTimeout (see Options.MasterOpTimeout).
+		resp, err := r.peer.Node.CallWithTimeout(ctx, transport.Addr(master.Addr), req, r.peer.opts.MasterOpTimeout)
 		if err != nil {
 			lastErr = err
 			if transport.IsUnavailable(err) {

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -41,13 +42,22 @@ type Service struct {
 	mu    sync.Mutex
 	rng   chord.Ring // set by SetRing before the node starts
 	clock vclock.Clock
+	// floors holds the per-document-key truncation low-water marks this
+	// peer has learned: every log slot of key with ts <= floors[key] was
+	// reclaimed under a fully-replicated checkpoint. Consulted on every
+	// path that could re-materialize a slot — replica installs,
+	// successor-copy promotion, write-once puts — because churn racing
+	// the async copy delete otherwise resurrects truncated slots that no
+	// later sweep revisits (the maintenance engine's own low-water mark
+	// makes each sweep O(new history), so it never re-deletes them).
+	floors map[string]uint64
 	// noSuccCopies disables the Log-Peers-Succ mechanism (ablation A1).
 	noSuccCopies bool
 }
 
 // NewService returns an empty DHT storage service.
 func NewService() *Service {
-	return &Service{st: store.New(), rep: store.New(), clock: vclock.System}
+	return &Service{st: store.New(), rep: store.New(), clock: vclock.System, floors: make(map[string]uint64)}
 }
 
 // SetClock routes the service's asynchronous successor-copy pushes (their
@@ -95,6 +105,78 @@ func (s *Service) succCopiesEnabled() bool {
 	return !s.noSuccCopies
 }
 
+// noteFloor records a truncation low-water mark. When it rises, the
+// replica set — and, on the truncation's own delete channel, the
+// primary store — is swept for slots below it: that sweep is what
+// finally reclaims copies the delete/copy race smuggled past earlier
+// truncations (which never revisit reclaimed history). It runs at most
+// once per horizon advance per key.
+//
+// Only the DHTDeleteReq channel sweeps primaries (sweepPrimary), and
+// the count of removed primary slots rides back to the truncating
+// caller so sweep accounting stays exact: each slot is counted once,
+// whether the explicit per-slot delete or the floor sweep got to it
+// first. Floors learned out of band — a replica-delete push or the
+// Maintain refresh piggyback — must NOT touch primaries: they race an
+// in-flight truncation whose later deletes would then find (and count)
+// nothing. A primary that slips below an out-of-band floor is reclaimed
+// lazily on its next read or explicit sweep instead.
+func (s *Service) noteFloor(f msg.TruncFloor, sweepPrimary bool) (sweptPrimary int) {
+	if f.Key == "" {
+		return 0
+	}
+	s.mu.Lock()
+	if f.TS <= s.floors[f.Key] {
+		s.mu.Unlock()
+		return 0
+	}
+	s.floors[f.Key] = f.TS
+	s.mu.Unlock()
+	stores := []*store.Store{s.rep}
+	if sweepPrimary {
+		stores = append(stores, s.st)
+	}
+	for _, st := range stores {
+		// Metadata-only snapshot: the sweep matches on slot names, and
+		// cloning every value per floor advance would be O(store bytes).
+		for _, e := range st.SnapshotMeta() {
+			if key, ts, ok := ids.ParseLogSlotName(e.Key); ok && key == f.Key && ts <= f.TS {
+				if st.Delete(e.ID) && st == s.st {
+					sweptPrimary++
+				}
+			}
+		}
+	}
+	return sweptPrimary
+}
+
+// floorOf returns the recorded low-water mark for a document key.
+func (s *Service) floorOf(key string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.floors[key]
+}
+
+// belowFloor reports whether the slot named by debugKey is a log slot
+// the truncation low-water mark says must stay dead.
+func (s *Service) belowFloor(debugKey string) bool {
+	key, ts, ok := ids.ParseLogSlotName(debugKey)
+	return ok && ts <= s.floorOf(key)
+}
+
+// floorSnapshot copies the floor map as a sorted slice for piggybacking
+// on successor refreshes.
+func (s *Service) floorSnapshot() []msg.TruncFloor {
+	s.mu.Lock()
+	out := make([]msg.TruncFloor, 0, len(s.floors))
+	for k, ts := range s.floors {
+		out = append(out, msg.TruncFloor{Key: k, TS: ts})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Name implements chord.Service.
 func (s *Service) Name() string { return ServiceName }
 
@@ -108,6 +190,13 @@ func (s *Service) ReplicaStore() *store.Store { return s.rep }
 func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, bool, error) {
 	switch r := req.(type) {
 	case *msg.DHTPutReq:
+		if s.belowFloor(r.Key) {
+			// A read-repair or late republish racing the truncation sweep:
+			// the slot's prefix is reclaimed under a fully-replicated
+			// checkpoint, so acknowledging without storing is the
+			// truncation outcome the sweep already committed to.
+			return &msg.DHTPutResp{Stored: true}, true, nil
+		}
 		var resp *msg.DHTPutResp
 		if r.IfAbsent {
 			stored, existing := s.st.PutIfAbsent(r.ID, r.Key, r.Value)
@@ -121,31 +210,56 @@ func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Me
 		}
 		return resp, true, nil
 	case *msg.DHTReplicaPutReq:
+		for _, f := range r.Floors {
+			s.noteFloor(f, false)
+		}
 		for _, it := range r.Items {
+			if s.belowFloor(it.Key) {
+				continue
+			}
 			s.rep.Put(it.ID, it.Key, it.Value)
 		}
 		return &msg.Ack{}, true, nil
 	case *msg.DHTDeleteReq:
+		// Delete before raising the floor: the floor sweep would reclaim
+		// this very slot and the response could no longer say whether it
+		// existed. The sweep's other removals ride back in Swept.
 		deleted := s.st.Delete(r.ID)
 		// Drop any successor copy of the slot too, or the Maintain
 		// promotion path could resurrect it after an owner crash.
 		s.rep.Delete(r.ID)
-		s.deleteFromSucc([]ids.ID{r.ID})
-		return &msg.DHTDeleteResp{Deleted: deleted}, true, nil
+		swept := s.noteFloor(r.Floor, true)
+		s.deleteFromSucc([]ids.ID{r.ID}, r.Floor)
+		return &msg.DHTDeleteResp{Deleted: deleted, Swept: swept}, true, nil
 	case *msg.DHTReplicaDeleteReq:
+		s.noteFloor(r.Floor, false)
 		for _, id := range r.IDs {
 			s.rep.Delete(id)
 		}
 		return &msg.Ack{}, true, nil
 	case *msg.DHTGetReq:
-		if v, ok := s.st.Get(r.ID); ok {
-			return &msg.DHTGetResp{Found: true, Value: v}, true, nil
+		if e, ok := s.st.GetEntry(r.ID); ok {
+			if s.belowFloor(e.Key) {
+				// A primary that slipped below an out-of-band floor (the
+				// horizon arrived via a replica push while this slot's own
+				// delete was lost): reclaim lazily rather than serve
+				// checkpoint-covered history back to readers.
+				s.st.Delete(r.ID)
+				return &msg.DHTGetResp{}, true, nil
+			}
+			return &msg.DHTGetResp{Found: true, Value: e.Value}, true, nil
 		}
 		// Takeover path: the previous owner of this slot crashed and we
 		// hold its successor copy. The lookup routed here because routing
 		// believes we are now responsible, so serve the copy; promote it
 		// to primary when ownership is confirmed locally.
 		if e, ok := s.rep.GetEntry(r.ID); ok {
+			if s.belowFloor(e.Key) {
+				// A stale copy of a truncated slot that slipped past the
+				// async replica delete: reclaim it instead of promoting.
+				s.rep.Delete(r.ID)
+				return &msg.DHTGetResp{}, true, nil
+			}
 			if rng := s.ring(); rng != nil && rng.Owns(r.ID) {
 				s.st.Put(r.ID, e.Key, e.Value)
 				s.replicateToSucc([]msg.StateItem{{Service: ServiceName, Key: e.Key, ID: r.ID, Value: e.Value}})
@@ -178,9 +292,9 @@ func (s *Service) replicateToSucc(items []msg.StateItem) {
 }
 
 // deleteFromSucc removes successor copies of deleted slots,
-// asynchronously and best-effort (a survivor copy only costs storage: its
-// content is identical to what the write-once slot held).
-func (s *Service) deleteFromSucc(idsToDrop []ids.ID) {
+// asynchronously and best-effort: a survivor copy costs storage until
+// the floor piggybacked on the next Maintain refresh reclaims it.
+func (s *Service) deleteFromSucc(idsToDrop []ids.ID, floor msg.TruncFloor) {
 	rng := s.ring()
 	if rng == nil || len(idsToDrop) == 0 || !s.succCopiesEnabled() {
 		return
@@ -193,7 +307,7 @@ func (s *Service) deleteFromSucc(idsToDrop []ids.ID) {
 	clk.Go(func() {
 		ctx, cancel := clk.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
-		_, _ = rng.Call(ctx, transport.Addr(succ.Addr), &msg.DHTReplicaDeleteReq{IDs: idsToDrop})
+		_, _ = rng.Call(ctx, transport.Addr(succ.Addr), &msg.DHTReplicaDeleteReq{IDs: idsToDrop, Floor: floor})
 	})
 }
 
@@ -207,8 +321,14 @@ func (s *Service) Maintain(ctx context.Context) {
 		return
 	}
 	// Promote owned replica entries to primary (crash takeover without
-	// waiting for a read).
+	// waiting for a read). The truncation low-water mark gates promotion:
+	// a copy of a reclaimed log slot that survived the async replica
+	// delete is reclaimed here, not resurrected.
 	for _, e := range s.rep.SnapshotAll() {
+		if s.belowFloor(e.Key) {
+			s.rep.Delete(e.ID)
+			continue
+		}
 		if rng.Owns(e.ID) {
 			if _, ok := s.st.Get(e.ID); !ok {
 				s.st.Put(e.ID, e.Key, e.Value)
@@ -216,18 +336,34 @@ func (s *Service) Maintain(ctx context.Context) {
 			s.rep.Delete(e.ID)
 		}
 	}
-	// Refresh the successor's copy of everything we serve.
+	// Refresh the successor's copy of everything we serve, with our
+	// truncation floors riding along: a successor that missed a replica
+	// delete learns the horizon here and sweeps its own copies. The same
+	// walk reclaims below-floor primaries — a stale copy this node
+	// promoted while it transiently owned the range, before the floor
+	// reached it — instead of re-replicating checkpoint-covered history
+	// onward. (Out-of-band floor learning deliberately leaves primaries
+	// to this pass and the read path: sweeping them inline would race an
+	// in-flight truncation's delete accounting.)
 	succ := rng.Successor()
 	if succ.IsZero() || succ.ID == rng.Ref().ID {
 		return
 	}
-	items := entriesToItems(s.st.SnapshotAll())
-	if len(items) == 0 {
+	var items []msg.StateItem
+	for _, e := range s.st.SnapshotAll() {
+		if s.belowFloor(e.Key) {
+			s.st.Delete(e.ID)
+			continue
+		}
+		items = append(items, msg.StateItem{Service: ServiceName, Key: e.Key, ID: e.ID, Value: e.Value})
+	}
+	floors := s.floorSnapshot()
+	if len(items) == 0 && len(floors) == 0 {
 		return
 	}
 	cctx, cancel := s.clk().WithTimeout(ctx, 2*time.Second)
 	defer cancel()
-	_, _ = rng.Call(cctx, transport.Addr(succ.Addr), &msg.DHTReplicaPutReq{Items: items})
+	_, _ = rng.Call(cctx, transport.Addr(succ.Addr), &msg.DHTReplicaPutReq{Items: items, Floors: floors})
 }
 
 // ExportOutside implements chord.Service. Only primary slots transfer;
@@ -245,12 +381,19 @@ func (s *Service) ExportAll() []msg.StateItem {
 }
 
 // Import implements chord.Service: installs transferred slots as primary
-// and pushes successor copies for them.
+// and pushes successor copies for them. Log slots below a known
+// truncation floor are dropped — a handover from a peer that lagged the
+// truncation sweep must not re-seed the reclaimed prefix.
 func (s *Service) Import(items []msg.StateItem) {
+	kept := items[:0]
 	for _, it := range items {
+		if s.belowFloor(it.Key) {
+			continue
+		}
 		s.st.Put(it.ID, it.Key, it.Value)
+		kept = append(kept, it)
 	}
-	s.replicateToSucc(items)
+	s.replicateToSucc(kept)
 }
 
 func entriesToItems(entries []store.Entry) []msg.StateItem {
@@ -340,15 +483,34 @@ func (c *Client) PutID(ctx context.Context, id ids.ID, key string, value []byte,
 // truncation: deleting a write-once slot is only sound when its content
 // is covered by a fully-replicated checkpoint.
 func (c *Client) DeleteID(ctx context.Context, id ids.ID) (bool, error) {
-	resp, err := c.call(ctx, id, &msg.DHTDeleteReq{ID: id})
+	deleted, _, err := c.deleteID(ctx, id, msg.TruncFloor{})
+	return deleted, err
+}
+
+// DeleteSlotID removes a P2P-Log slot as part of a truncation sweep of
+// floorKey up to floorTS: the responsible peer records the low-water
+// mark so no stale successor copy of the reclaimed prefix can ever be
+// promoted back (the resurrection leak truncation otherwise never
+// revisits). removed counts every primary slot the call reclaimed — the
+// addressed one plus any the floor sweep caught first on that peer.
+func (c *Client) DeleteSlotID(ctx context.Context, id ids.ID, floorKey string, floorTS uint64) (removed int, err error) {
+	deleted, swept, err := c.deleteID(ctx, id, msg.TruncFloor{Key: floorKey, TS: floorTS})
+	if deleted {
+		swept++
+	}
+	return swept, err
+}
+
+func (c *Client) deleteID(ctx context.Context, id ids.ID, floor msg.TruncFloor) (deleted bool, swept int, err error) {
+	resp, err := c.call(ctx, id, &msg.DHTDeleteReq{ID: id, Floor: floor})
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	dr, ok := resp.(*msg.DHTDeleteResp)
 	if !ok {
-		return false, fmt.Errorf("dht: unexpected response %T", resp)
+		return false, 0, fmt.Errorf("dht: unexpected response %T", resp)
 	}
-	return dr.Deleted, nil
+	return dr.Deleted, dr.Swept, nil
 }
 
 // GetID fetches the value at ring position id.

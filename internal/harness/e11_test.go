@@ -54,6 +54,10 @@ func TestE11Deterministic(t *testing.T) {
 		t.Fatalf("message counters diverged: sent %d vs %d, dropped %d vs %d",
 			a.Sent, b.Sent, a.Dropped, b.Dropped)
 	}
+	if a.Evictions != b.Evictions || a.FalseEvictions != b.FalseEvictions {
+		t.Fatalf("eviction counters diverged: %d/%d vs %d/%d",
+			a.Evictions, a.FalseEvictions, b.Evictions, b.FalseEvictions)
+	}
 	if a.Virtual != b.Virtual {
 		t.Fatalf("virtual durations diverged: %v vs %v", a.Virtual, b.Virtual)
 	}

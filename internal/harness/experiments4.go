@@ -115,11 +115,11 @@ func RunE10(cfg Config) error {
 
 			// Slot occupancy: auto-truncation must reclaim the covered
 			// prefix without any explicit TruncateLog call. A handful of
-			// stragglers below the replication factor is tolerated: the
-			// DHT's successor-copy promotion can resurrect an already
-			// deleted replica when churn races the async copy delete, and
-			// those orphans cost storage only (write-once content the
-			// protocol never reads again).
+			// stragglers below the replication factor is tolerated
+			// transiently: churn racing the async copy delete can briefly
+			// re-materialize a replica until the truncation low-water mark
+			// propagates (the owner's next refresh, or the next sweep)
+			// and reclaims it.
 			stragglers := int64(live[0].Log.Replicas())
 			slots := countLogSlots(c, key).Value()
 			if withMaint {

@@ -1,0 +1,511 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"p2pltr/internal/chord"
+	"p2pltr/internal/core"
+	"p2pltr/internal/maintain"
+	"p2pltr/internal/metrics"
+	"p2pltr/internal/transport"
+	"p2pltr/internal/vclock"
+)
+
+// E12 is the first FULL-STACK scale experiment: where E11 measured the
+// chord ring alone, E12 runs the paper's entire machine — KTS timestamp
+// validation, P2P-Log publication and windowed retrieval, checkpoint
+// production, and the self-healing maintenance engine — on hundreds to
+// thousands of peers in virtual time. Seeded editing sessions commit
+// through the real client pipeline (edit, validate, retrieve-and-
+// transform, retry with backoff) while the experiment applies sustained
+// message loss, crash/join churn batches, and the paper's nastiest
+// liveness case: on the "doomed" documents every boundary author is
+// killed at its boundary commit, before it can snapshot, so the
+// maintenance engine's fallback producer must keep the checkpoint chain
+// alive. The run reports per-document convergence lag, checkpoint lag,
+// and reclaimed-slot counts.
+//
+// Everything — client goroutines, window workers, maintenance passes —
+// is spawned and woken through the vclock seam, so a fixed seed replays
+// the entire run bitwise-identically (TestE12Deterministic pins the
+// event order and every metric counter).
+
+// e12Event is one observed milestone on the virtual timeline. Fields
+// are plain values so two runs can be compared for identity.
+type e12Event struct {
+	Kind string // "commit", "author-killed", "crash", "join"
+	Doc  string
+	Site string // committing site, or crashed/joined peer address
+	TS   uint64
+	At   time.Duration
+}
+
+// e12DocReport is the per-document outcome.
+type e12DocReport struct {
+	Doc      string
+	Doomed   bool
+	FinalTS  uint64
+	CkptPtr  uint64
+	CkptLag  uint64
+	LogSlots int
+	ConvLag  time.Duration // virtual time from workload end to reader convergence
+}
+
+// e12Result is everything one E12 run measured.
+type e12Result struct {
+	Peers    int
+	Events   []e12Event
+	Docs     []e12DocReport
+	Counters map[string]int64 // maintenance engine counters, summed
+	Grants   int64
+	Rejects  int64
+	Sent     int64
+	Dropped  int64
+	Virtual  time.Duration
+	Wall     time.Duration
+}
+
+// runE12 executes one full-stack virtual-time run.
+func runE12(seed int64, peers, docs, sessionsPerDoc, editsPerSession, churnRounds int) (*e12Result, error) {
+	const (
+		latencyMedian = 25 * time.Millisecond
+		latencySigma  = 0.5
+		dropProb      = 0.01
+		interval      = 8 // checkpoint period in committed patches
+		sampleEvery   = 500 * time.Millisecond
+		warmup        = 3 * time.Second
+		settleBudget  = 120 * time.Second // virtual, for convergence/maintenance waits
+	)
+	clk := vclock.NewVirtual()
+	net := transport.NewSimnet(
+		transport.WithClock(clk),
+		transport.WithLatency(transport.NewLogNormalLatency(latencyMedian, latencySigma, seed+1)),
+		transport.WithDropProb(0, seed+2), // loss starts after warm-up
+	)
+	// Paper-like timers, as in E11: virtual time makes aggressive
+	// FastConfig periods pointless, and at 512+ peers their event rate
+	// would dominate the wall-time budget.
+	opts := core.Options{
+		Chord: chord.Config{
+			SuccListLen:     8,
+			StabilizeEvery:  500 * time.Millisecond,
+			FixFingersEvery: 500 * time.Millisecond,
+			CheckPredEvery:  time.Second,
+			CallTimeout:     400 * time.Millisecond,
+			Clock:           clk,
+		},
+		CheckpointInterval: interval,
+		// KeepIntervals holds one interval below the pointer back from
+		// truncation so briefly-lagging editors integrate instead of
+		// hitting ErrTruncated; sessions also opt into the checkpoint
+		// rebase policy as the backstop.
+		Maintain: &maintain.Config{
+			TruncateEvery: 10 * time.Second,
+			KeepIntervals: 1,
+		},
+		ClientBackoff: time.Second,
+		Clock:         clk,
+	}
+
+	res := &e12Result{Peers: peers}
+	wallStart := time.Now()
+	ctx := context.Background()
+	epoch := time.Unix(0, 0).UTC()
+
+	var (
+		mu       sync.Mutex // guards events + session bookkeeping (scheduler-serialized, but keep -race happy)
+		all      []*core.Peer
+		down     []bool
+		hosts    []int // peer indexes reserved as session hosts (never churn victims)
+		hostBusy []bool
+		killReq  []int // peer indexes flagged for boundary-author death
+	)
+	record := func(kind, doc, site string, ts uint64) {
+		mu.Lock()
+		res.Events = append(res.Events, e12Event{Kind: kind, Doc: doc, Site: site, TS: ts, At: clk.Since(epoch)})
+		mu.Unlock()
+	}
+
+	newPeer := func() int {
+		i := len(all)
+		all = append(all, core.NewPeer(net.NewEndpoint(fmt.Sprintf("sim-%05d", i)), opts))
+		down = append(down, false)
+		return i
+	}
+	nodes := make([]*chord.Node, 0, peers)
+	for i := 0; i < peers; i++ {
+		nodes = append(nodes, all[newPeer()].Node)
+	}
+	clk.Register()
+	defer clk.Unregister()
+	chord.SeedRing(nodes)
+	defer func() {
+		for _, p := range all {
+			p.Stop()
+		}
+	}()
+
+	crash := func(i int) {
+		if down[i] {
+			return
+		}
+		net.Crash(all[i].Addr())
+		all[i].Stop()
+		down[i] = true
+	}
+
+	// Reserve one host peer per session up front, spread over the ring:
+	// churn victims are drawn from the rest, so a session dies only when
+	// the experiment kills its boundary author on purpose.
+	sessions := docs * sessionsPerDoc
+	for i := 0; i < sessions; i++ {
+		h := (i * peers) / sessions
+		hosts = append(hosts, h)
+		hostBusy = append(hostBusy, true)
+	}
+
+	_ = clk.Sleep(ctx, warmup)
+	net.SetDropProb(dropProb)
+
+	// Editing sessions. Docs alternate doomed (every boundary author is
+	// killed at commit, snapshot production off — the maintenance
+	// engine must fallback-produce the whole chain) and normal (authors
+	// snapshot at boundaries like the paper prescribes).
+	doneN := 0
+	for s := 0; s < sessions; s++ {
+		doc := fmt.Sprintf("doc-%02d", s%docs)
+		doomed := (s % docs) < docs/2
+		site := fmt.Sprintf("site-%02d", s)
+		hostIdx := hosts[s]
+		host := all[hostIdx]
+		rng := rand.New(rand.NewSource(seed + 1000*int64(s)))
+		clk.Go(func() {
+			defer func() {
+				mu.Lock()
+				doneN++
+				mu.Unlock()
+			}()
+			r := core.NewReplica(host, doc, site)
+			r.SetRebaseOntoCheckpoint(true)
+			if doomed {
+				r.SetCheckpointProduction(false)
+			}
+			for e := 0; e < editsPerSession; e++ {
+				_ = clk.Sleep(ctx, time.Duration(1+rng.Intn(4000))*time.Millisecond)
+				if !host.Node.Running() {
+					return
+				}
+				if err := r.Insert(rng.Intn(1+len(r.CommittedLines())), fmt.Sprintf("%s/%d", site, e)); err != nil {
+					return
+				}
+				for {
+					ts, err := r.Commit(ctx)
+					if err == nil {
+						record("commit", doc, site, ts)
+						if doomed && ts%interval == 0 {
+							// This session just authored a checkpoint
+							// boundary: it dies here, snapshot unpublished.
+							// The driver crashes the host at its next
+							// sample; the session stops editing now.
+							record("author-killed", doc, site, ts)
+							mu.Lock()
+							killReq = append(killReq, hostIdx)
+							mu.Unlock()
+							return
+						}
+						break
+					}
+					if !host.Node.Running() {
+						return
+					}
+					_ = clk.Sleep(ctx, time.Second)
+				}
+			}
+		})
+	}
+
+	// The driver: sample the kill queue, run churn rounds, and wait for
+	// the workload to drain.
+	isHost := func(i int) bool {
+		for s, h := range hosts {
+			if h == i && hostBusy[s] {
+				return true
+			}
+		}
+		return false
+	}
+	rng := rand.New(rand.NewSource(seed))
+	batch := peers / 50
+	if batch < 1 {
+		batch = 1
+	}
+	joinRetry := func(i int) error {
+		var lastErr error
+		for attempt := 0; attempt < 8; attempt++ {
+			if attempt > 0 {
+				_ = clk.Sleep(ctx, time.Second)
+			}
+			boot := -1
+			for probe := 0; probe < len(all); probe++ {
+				j := (i + 1 + attempt + probe) % len(all)
+				if j != i && !down[j] && all[j].Node.Running() {
+					boot = j
+					break
+				}
+			}
+			if boot < 0 {
+				return fmt.Errorf("E12: no live bootstrap peer")
+			}
+			if lastErr = all[i].Join(ctx, all[boot].Addr()); lastErr == nil {
+				return nil
+			}
+		}
+		return fmt.Errorf("E12: join %s: %w", all[i].Addr(), lastErr)
+	}
+	serveKills := func() {
+		mu.Lock()
+		pending := killReq
+		killReq = nil
+		for s, h := range hosts {
+			for _, k := range pending {
+				if h == k {
+					hostBusy[s] = false
+				}
+			}
+		}
+		mu.Unlock()
+		for _, k := range pending {
+			crash(k)
+		}
+	}
+	workloadDone := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return doneN == sessions
+	}
+
+	churnAt := 20 * time.Second // virtual spacing between churn rounds
+	nextChurn := clk.Since(epoch) + churnAt
+	round := 0
+	for !workloadDone() {
+		_ = clk.Sleep(ctx, sampleEvery)
+		serveKills()
+		if round < churnRounds && clk.Since(epoch) >= nextChurn {
+			round++
+			nextChurn += churnAt
+			// Crash a batch of random non-host peers...
+			var eligible []int
+			for i := range all {
+				if !down[i] && !isHost(i) {
+					eligible = append(eligible, i)
+				}
+			}
+			perm := rng.Perm(len(eligible))
+			for k := 0; k < batch && k < len(perm); k++ {
+				v := eligible[perm[k]]
+				crash(v)
+				record("crash", "", string(all[v].Addr()), 0)
+			}
+			// ...and join the same number of fresh full-stack peers.
+			for k := 0; k < batch; k++ {
+				j := newPeer()
+				if err := joinRetry(j); err != nil {
+					return nil, fmt.Errorf("round %d: %w", round, err)
+				}
+				record("join", "", string(all[j].Addr()), 0)
+			}
+		}
+		if clk.Since(epoch) > settleBudget+time.Duration(churnRounds)*churnAt {
+			return nil, fmt.Errorf("E12: workload did not drain within budget (%d/%d sessions done)", doneN, sessions)
+		}
+	}
+	serveKills()
+	workloadEnd := clk.Since(epoch)
+
+	// Authoritative per-document final timestamp: scan every live KTS
+	// (local state only — no RPC, no virtual time).
+	finalTS := func(doc string) uint64 {
+		var max uint64
+		for i, p := range all {
+			if down[i] {
+				continue
+			}
+			if ts, ok := p.KTS.LastTSLocal(doc); ok && ts > max {
+				max = ts
+			}
+		}
+		return max
+	}
+	livePeer := func() *core.Peer {
+		for i, p := range all {
+			if !down[i] && p.Node.Running() {
+				return p
+			}
+		}
+		return nil
+	}
+
+	// Per-document convergence: a cold reader on a surviving peer must
+	// pull the full committed history (checkpoint bootstrap + log tail)
+	// under the post-churn ring. ConvLag is how long after workload end
+	// that first succeeds.
+	docNames := make([]string, docs)
+	for d := range docNames {
+		docNames[d] = fmt.Sprintf("doc-%02d", d)
+	}
+	reports := make([]e12DocReport, docs)
+	for d, doc := range docNames {
+		rep := e12DocReport{Doc: doc, Doomed: d < docs/2, FinalTS: finalTS(doc)}
+		reader := core.NewReplica(livePeer(), doc, "reader-"+doc)
+		for {
+			if err := reader.Pull(ctx); err == nil && reader.CommittedTS() >= rep.FinalTS {
+				rep.ConvLag = clk.Since(epoch) - workloadEnd
+				break
+			}
+			if clk.Since(epoch)-workloadEnd > settleBudget {
+				return nil, fmt.Errorf("E12: %s never converged (reader at %d of %d)", doc, reader.CommittedTS(), rep.FinalTS)
+			}
+			_ = clk.Sleep(ctx, sampleEvery)
+		}
+		reports[d] = rep
+	}
+
+	// Maintenance outcomes: the checkpoint pointer must reach the last
+	// boundary of every document — on doomed documents no author ever
+	// snapshotted, so only the fallback producer can get it there — and
+	// truncation must reclaim the covered log prefix.
+	logSlots := func(doc string) int {
+		prefix := "log/" + doc + "/"
+		n := 0
+		for i, p := range all {
+			if down[i] {
+				continue
+			}
+			for _, e := range p.DHT.Store().SnapshotAll() {
+				if strings.HasPrefix(e.Key, prefix) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	for d := range reports {
+		doc := reports[d].Doc
+		boundary := reports[d].FinalTS - reports[d].FinalTS%interval
+		for {
+			ptr, err := livePeer().Ckpt.LatestPointer(ctx, doc)
+			if err == nil && ptr >= boundary {
+				reports[d].CkptPtr = ptr
+				break
+			}
+			if clk.Since(epoch)-workloadEnd > settleBudget {
+				return nil, fmt.Errorf("E12: checkpoint pointer of %s stuck at %v (want >= %d)", doc, ptr, boundary)
+			}
+			_ = clk.Sleep(ctx, sampleEvery)
+		}
+		reports[d].CkptLag = reports[d].FinalTS - reports[d].CkptPtr
+		// Truncation horizon: pointer minus the KeepIntervals margin.
+		reclaimTo := uint64(0)
+		if reports[d].CkptPtr > interval {
+			reclaimTo = reports[d].CkptPtr - interval
+		}
+		bound := func() int { // slots the horizon still allows
+			return int(reports[d].FinalTS-reclaimTo) * all[0].Log.Replicas()
+		}
+		for logSlots(doc) > bound() {
+			if clk.Since(epoch)-workloadEnd > 2*settleBudget {
+				return nil, fmt.Errorf("E12: %s log not reclaimed: %d slots > bound %d", doc, logSlots(doc), bound())
+			}
+			_ = clk.Sleep(ctx, sampleEvery)
+		}
+		reports[d].LogSlots = logSlots(doc)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Doc < reports[j].Doc })
+	res.Docs = reports
+
+	for _, p := range all {
+		p.Stop()
+	}
+	agg := metrics.NewFamily()
+	for _, p := range all {
+		if p.Maint != nil {
+			agg.Merge(p.Maint.Counters())
+		}
+	}
+	res.Counters = agg.Snapshot()
+	for i, p := range all {
+		_ = i
+		g, rj, _ := p.KTS.Stats()
+		res.Grants += g
+		res.Rejects += rj
+	}
+	res.Sent, res.Dropped = net.Stats()
+	res.Virtual = clk.Since(epoch)
+	res.Wall = time.Since(wallStart)
+	return res, nil
+}
+
+// RunE12 runs the full-stack scale experiment and checks its shape.
+func RunE12(cfg Config) error {
+	peers, docs, perDoc, edits, rounds := 512, 6, 3, 6, 2
+	if cfg.Long {
+		peers, docs, perDoc, edits, rounds = 2000, 12, 3, 6, 3
+	}
+	res, err := runE12(cfg.Seed, peers, docs, perDoc, edits, rounds)
+	if err != nil {
+		return err
+	}
+
+	tbl := metrics.NewTable("doc", "mode", "final-ts", "ckpt-ptr", "ckpt-lag", "log-slots", "conv-lag")
+	commits, kills := 0, 0
+	for _, ev := range res.Events {
+		switch ev.Kind {
+		case "commit":
+			commits++
+		case "author-killed":
+			kills++
+		}
+	}
+	for _, r := range res.Docs {
+		mode := "normal"
+		if r.Doomed {
+			mode = "doomed-authors"
+		}
+		tbl.AddRow(r.Doc, mode, r.FinalTS, r.CkptPtr, r.CkptLag, r.LogSlots, r.ConvLag)
+	}
+	fmt.Fprint(cfg.Out, tbl.String())
+	fmt.Fprintf(cfg.Out, "maintenance counters: %v\n", res.Counters)
+	fmt.Fprintf(cfg.Out, "peers=%d commits=%d boundary-authors-killed=%d grants=%d rejects=%d messages=%d dropped=%d (%.2f%%) virtual=%s wall=%s speedup=%.0fx\n",
+		res.Peers, commits, kills, res.Grants, res.Rejects, res.Sent, res.Dropped,
+		100*float64(res.Dropped)/float64(res.Sent),
+		res.Virtual.Round(time.Millisecond), res.Wall.Round(time.Millisecond),
+		float64(res.Virtual)/float64(res.Wall))
+
+	// Shape checks.
+	if commits == 0 || kills == 0 {
+		return fmt.Errorf("E12: degenerate workload: %d commits, %d boundary-author kills", commits, kills)
+	}
+	if res.Dropped == 0 {
+		return fmt.Errorf("E12: sustained loss dropped no messages (sent %d)", res.Sent)
+	}
+	const interval = 8
+	for _, r := range res.Docs {
+		if r.CkptLag >= interval {
+			return fmt.Errorf("E12: %s checkpoint lag %d, bound is < %d", r.Doc, r.CkptLag, interval)
+		}
+	}
+	if res.Counters["fallback-checkpoints"] == 0 {
+		return fmt.Errorf("E12: every doomed boundary author died yet no fallback checkpoint was produced")
+	}
+	if res.Counters["slots-truncated"] == 0 {
+		return fmt.Errorf("E12: no log slots reclaimed by automatic truncation")
+	}
+	fmt.Fprintln(cfg.Out, "shape check: the full KTS/log/checkpoint/maintain stack at paper scale, under loss, churn and boundary-author death, converges every document, keeps checkpoint lag under one interval via fallback production, and reclaims the covered log — deterministically under a fixed seed")
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // Bits is the width of the identifier space. Chord finger tables have one
@@ -73,6 +74,40 @@ func CheckpointHash(i int, key string, ts uint64) ID {
 // overwritten in timestamp order by the KTS master.
 func CheckpointPtrHash(i int, key string) ID {
 	return Hash([]byte("p2pltr/ckptptr\x00" + strconv.Itoa(i) + "\x00" + key))
+}
+
+// LogSlotName is the debug name stored alongside a P2P-Log replica slot:
+// "log/<key>/<ts>/r<i>". It lives here (rather than in p2plog) because
+// the DHT storage service must be able to recognize log slots too — its
+// truncation low-water mark gates successor-copy promotion on the
+// (key, ts) a slot belongs to — and ids is the one package both layers
+// already share.
+func LogSlotName(key string, ts uint64, replica int) string {
+	return fmt.Sprintf("log/%s/%d/r%d", key, ts, replica)
+}
+
+// ParseLogSlotName decodes a LogSlotName back into its document key and
+// timestamp, reporting ok=false for names of any other shape. Keys may
+// themselves contain '/', so the timestamp and replica components are
+// taken from the right.
+func ParseLogSlotName(name string) (key string, ts uint64, ok bool) {
+	rest, found := strings.CutPrefix(name, "log/")
+	if !found {
+		return "", 0, false
+	}
+	i := strings.LastIndexByte(rest, '/')
+	if i < 0 || !strings.HasPrefix(rest[i+1:], "r") {
+		return "", 0, false
+	}
+	rest = rest[:i]
+	if i = strings.LastIndexByte(rest, '/'); i < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseUint(rest[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return rest[:i], v, true
 }
 
 // String renders the ID as fixed-width hexadecimal.

@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,6 +44,7 @@ import (
 	"p2pltr/internal/msg"
 	"p2pltr/internal/p2plog"
 	"p2pltr/internal/transport"
+	"p2pltr/internal/vclock"
 )
 
 // ServiceName identifies KTS state items in Chord handovers.
@@ -55,8 +57,14 @@ var ErrAheadOfLog = errors.New("kts: client timestamp ahead of the log")
 // entry is the per-key timestamp state. An entry exists on the master
 // (authoritative) and on its successor (replica); the Owns check decides
 // which role the local node currently plays.
+//
+// mu is the paper's "the Master-key serves each user peer sequentially"
+// serialization, and it is held ACROSS the log publish and recovery
+// RPCs — which is why it must be a clock-aware vclock.Mutex: a plain
+// sync.Mutex would block a second validator outside the virtual
+// scheduler's accounting and freeze the whole simulated timeline.
 type entry struct {
-	mu     sync.Mutex
+	mu     *vclock.Mutex
 	lastTS uint64
 	// ckptTS is the latest checkpoint pointer for the key (0 = none).
 	// It only moves forward, and only through the master, so checkpoint
@@ -73,9 +81,10 @@ type entry struct {
 
 // Service is the timestamp service mounted on a Chord node.
 type Service struct {
-	ring chord.Ring
-	log  *p2plog.Log
-	ckpt *checkpoint.Store // nil until SetCheckpointStore
+	ring  chord.Ring
+	log   *p2plog.Log
+	ckpt  *checkpoint.Store // nil until SetCheckpointStore
+	clock vclock.Clock
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -90,7 +99,16 @@ type Service struct {
 // NewService creates a timestamp service. log is used for sendToPublish
 // and for last-ts recovery.
 func NewService(ring chord.Ring, log *p2plog.Log) *Service {
-	return &Service{ring: ring, log: log, entries: make(map[string]*entry)}
+	return &Service{ring: ring, log: log, clock: vclock.System, entries: make(map[string]*entry)}
+}
+
+// SetClock accounts the per-key serialization waits on c (see entry.mu).
+// Wiring-time configuration: call it before the service handles any RPC
+// and before any entry state exists.
+func (s *Service) SetClock(c vclock.Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = vclock.OrSystem(c)
 }
 
 // SetCheckpointStore wires the checkpoint layer: the service then accepts
@@ -107,7 +125,7 @@ func (s *Service) entryFor(key string) *entry {
 	defer s.mu.Unlock()
 	e, ok := s.entries[key]
 	if !ok {
-		e = &entry{}
+		e = &entry{mu: vclock.NewMutex(s.clock)}
 		s.entries[key] = e
 	}
 	return e
@@ -376,6 +394,10 @@ func (s *Service) Maintain(ctx context.Context) {
 		}
 	}
 	s.mu.Unlock()
+	// Replicate in key order: map order would issue the RPCs in a
+	// different order each run, which a deterministic simulation cannot
+	// tolerate (every call draws from the seeded latency/drop streams).
+	sort.Slice(owned, func(i, j int) bool { return owned[i].key < owned[j].key })
 	for _, kv := range owned {
 		e := s.entryFor(kv.key)
 		e.mu.Lock()
@@ -397,33 +419,59 @@ func (s *Service) Maintain(ctx context.Context) {
 // replicas only ever move forward, so retaining is safe and preserves
 // availability.
 func (s *Service) ExportOutside(newPred, self ids.ID) []msg.StateItem {
+	// Collect the entries under s.mu, lock each e.mu only after
+	// releasing it: e.mu parks (a master holds it across publishes), and
+	// holding the plain s.mu across that park would block every other
+	// entryFor caller outside the virtual scheduler's accounting —
+	// freezing a simulated timeline, and stalling all KTS RPCs on this
+	// node for up to a master-op timeout on a real one.
+	type kv struct {
+		key  string
+		tsID ids.ID
+		e    *entry
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var items []msg.StateItem
+	picked := make([]kv, 0, len(s.entries))
 	for key, e := range s.entries {
 		tsID := ids.HashTS(key)
 		if ids.BetweenRightIncl(tsID, newPred, self) {
 			continue
 		}
-		e.mu.Lock()
-		last, ckpt := e.lastTS, e.ckptTS
-		e.mu.Unlock()
-		items = append(items, stateItem(key, tsID, last, ckpt))
+		picked = append(picked, kv{key, tsID, e})
+	}
+	s.mu.Unlock()
+	sort.Slice(picked, func(i, j int) bool { return picked[i].key < picked[j].key })
+	items := make([]msg.StateItem, 0, len(picked))
+	for _, p := range picked {
+		p.e.mu.Lock()
+		last, ckpt := p.e.lastTS, p.e.ckptTS
+		p.e.mu.Unlock()
+		items = append(items, stateItem(p.key, p.tsID, last, ckpt))
 	}
 	return items
 }
 
 // ExportAll implements chord.Service (voluntary leave: push everything to
-// the successor, which becomes the master).
+// the successor, which becomes the master). Like ExportOutside, it must
+// not hold s.mu while taking the parking e.mu.
 func (s *Service) ExportAll() []msg.StateItem {
+	type kv struct {
+		key string
+		e   *entry
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	items := make([]msg.StateItem, 0, len(s.entries))
+	picked := make([]kv, 0, len(s.entries))
 	for key, e := range s.entries {
-		e.mu.Lock()
-		last, ckpt := e.lastTS, e.ckptTS
-		e.mu.Unlock()
-		items = append(items, stateItem(key, ids.HashTS(key), last, ckpt))
+		picked = append(picked, kv{key, e})
+	}
+	s.mu.Unlock()
+	sort.Slice(picked, func(i, j int) bool { return picked[i].key < picked[j].key })
+	items := make([]msg.StateItem, 0, len(picked))
+	for _, p := range picked {
+		p.e.mu.Lock()
+		last, ckpt := p.e.lastTS, p.e.ckptTS
+		p.e.mu.Unlock()
+		items = append(items, stateItem(p.key, ids.HashTS(p.key), last, ckpt))
 	}
 	return items
 }
@@ -523,7 +571,9 @@ type KeyState struct {
 }
 
 // KeyStates enumerates the per-key timestamp state this node holds
-// (primary or replica); the maintenance engine scans it each pass.
+// (primary or replica), in key order; the maintenance engine scans it
+// each pass, and its per-key actions issue RPCs, so the scan order must
+// not depend on map iteration for simulations to replay identically.
 func (s *Service) KeyStates() []KeyState {
 	s.mu.Lock()
 	keys := make([]string, 0, len(s.entries))
@@ -531,6 +581,7 @@ func (s *Service) KeyStates() []KeyState {
 		keys = append(keys, k)
 	}
 	s.mu.Unlock()
+	sort.Strings(keys)
 	out := make([]KeyState, 0, len(keys))
 	for _, k := range keys {
 		e := s.entryFor(k)

@@ -94,14 +94,16 @@ type Config struct {
 	// stronger-than-required full-replication margin, never the
 	// pointer's ≥1-replica retrievability invariant.
 	RepairEvery time.Duration
-	// MaxCatchupIntervals caps how many missed checkpoint intervals the
-	// fallback producer closes in one pass (DefaultMaxCatchupIntervals if
-	// zero; negative removes the cap). The fallback pull replays the log
-	// from the last covered checkpoint, and it runs synchronously on the
-	// shared chord maintenance goroutine — without the cap, the first
-	// pass over a deep no-checkpoint history replays it all inside one
-	// tick and stalls every other service's Maintain. With it, each pass
-	// publishes an intermediate boundary and resumes next tick.
+	// MaxCatchupIntervals caps how many missed checkpoint boundaries the
+	// fallback producer publishes in one pass (DefaultMaxCatchupIntervals
+	// if zero; negative removes the cap). The fallback pulls replay the
+	// log synchronously on the shared chord maintenance goroutine —
+	// without the cap, the first pass over a deep no-checkpoint history
+	// replays it all inside one tick and stalls every other service's
+	// Maintain. Capped or not, every intermediate boundary is published
+	// on the way (the complete chain history navigation needs); the cap
+	// only decides how many of them one tick may produce before
+	// resuming at the next.
 	MaxCatchupIntervals int
 	// KeepIntervals is a safety margin for automatic truncation: the
 	// newest KeepIntervals*Interval timestamps below the pointer are NOT
@@ -271,19 +273,34 @@ func (e *Engine) maintainKey(ctx context.Context, st kts.KeyState) {
 			}
 		}
 		if boundary > st.CkptTS {
-			// Cap the catch-up: each pass closes at most
-			// MaxCatchupIntervals intervals past the covered prefix,
-			// publishing an intermediate boundary and resuming next tick,
-			// so a deep no-checkpoint history never replays in full on
-			// the shared chord maintenance goroutine.
-			if steps := uint64(e.cfg.MaxCatchupIntervals); steps > 0 {
-				if limit := st.CkptTS - st.CkptTS%e.cfg.Interval + steps*e.cfg.Interval; boundary > limit {
-					boundary = limit
+			// Close the gap one boundary at a time, publishing EVERY
+			// intermediate boundary on the way: history navigation (time
+			// travel, audit) needs the complete boundary chain, not every
+			// MaxCatchupIntervals-th link. The cap still bounds the pass —
+			// at most MaxCatchupIntervals boundary productions per tick,
+			// resuming next tick — so a deep no-checkpoint history never
+			// replays in full on the shared chord maintenance goroutine.
+			// Each production pulls from the boundary just published, so a
+			// pass costs O(published boundaries × interval), same total
+			// replay as one capped jump.
+			steps := e.cfg.MaxCatchupIntervals
+			for b := st.CkptTS - st.CkptTS%e.cfg.Interval + e.cfg.Interval; b <= boundary; b += e.cfg.Interval {
+				if b <= st.CkptTS {
+					continue // a racing author already covered this boundary
 				}
-			}
-			if ts, ok := e.produce(ctx, st.Key, boundary); ok {
-				st.CkptTS = ts
+				ts, ok := e.produce(ctx, st.Key, b)
+				if !ok {
+					break
+				}
+				if ts > st.CkptTS {
+					st.CkptTS = ts
+				}
 				produced = true
+				if steps > 0 {
+					if steps--; steps == 0 {
+						break
+					}
+				}
 			}
 		}
 	}
@@ -406,7 +423,12 @@ func (e *Engine) maybeTruncate(ctx context.Context, st kts.KeyState) {
 	e.lastTrunc[st.Key] = now
 	e.mu.Unlock()
 
-	deleted, err := e.log.TruncateRange(ctx, st.Key, after, target)
+	// TruncateTo (not TruncateRange): the sweep also declares target the
+	// key's truncation low-water mark on every contacted Log-Peer, which
+	// is what reclaims replicas that churn smuggled past an earlier
+	// sweep's async copy deletes — this engine's own horizon (after)
+	// makes each sweep O(new history), so it would never revisit them.
+	deleted, err := e.log.TruncateTo(ctx, st.Key, after, target)
 	if err != nil {
 		e.counters.Counter("errors").Add(1)
 		return

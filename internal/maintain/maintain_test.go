@@ -166,18 +166,18 @@ func TestRepairsLostCheckpointSlots(t *testing.T) {
 		t.Fatal("slot still present after delete")
 	}
 
+	// Wait for the repair counter, not the read path: a read can
+	// transiently resolve to the successor's copy while the async
+	// replica delete is still in flight, which is not a repair.
 	deadline := time.Now().Add(20 * time.Second)
-	for {
-		if _, found, _ := c.Peers[0].Client.GetID(ctx, slot); found {
-			break
-		}
+	for counters(c)["slots-repaired"] == 0 {
 		if time.Now().After(deadline) {
 			t.Fatalf("engine never repaired the lost checkpoint slot; counters: %v", counters(c))
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if snap := counters(c); snap["slots-repaired"] == 0 {
-		t.Fatalf("slot reappeared without the repair counter moving: %v", snap)
+	if _, found, _ := c.Peers[0].Client.GetID(ctx, slot); !found {
+		t.Fatal("repair counter moved but the slot is still unreadable")
 	}
 }
 
@@ -374,6 +374,42 @@ func TestFallbackCatchupCapped(t *testing.T) {
 	if snap["fallback-checkpoints"] < boundaries {
 		t.Fatalf("pointer reached %d with only %d fallback productions, want one per boundary (%d): %v",
 			boundaries*interval, snap["fallback-checkpoints"], boundaries, snap)
+	}
+}
+
+// TestFallbackPublishesEveryBoundary: with a catch-up cap WIDER than one
+// interval, the fallback producer must still publish every intermediate
+// boundary inside the window — the complete chain history navigation
+// needs — not just the capped pass's newest one.
+func TestFallbackPublishesEveryBoundary(t *testing.T) {
+	const (
+		interval   = 2
+		boundaries = 4
+	)
+	c := newMaintCluster(t, 5, interval, maintain.Config{
+		TruncateEvery: time.Hour,
+		// The whole gap fits in one pass: before the fix this published
+		// only the newest boundary and the chain had holes.
+		MaxCatchupIntervals: boundaries + 1,
+	})
+	key := "chain-history"
+	w := core.NewReplica(c.Peers[0], key, "author")
+	w.SetCheckpointProduction(false)
+	commit(t, w, boundaries*interval)
+
+	waitPointer(t, c, key, boundaries*interval)
+	ctx := context.Background()
+	for b := uint64(interval); b <= boundaries*interval; b += interval {
+		cp, err := c.Peers[0].Ckpt.Fetch(ctx, key, b)
+		if err != nil {
+			t.Fatalf("boundary %d missing from the checkpoint chain: %v", b, err)
+		}
+		if cp.TS != b {
+			t.Fatalf("boundary %d fetched snapshot at ts %d", b, cp.TS)
+		}
+	}
+	if snap := counters(c); snap["fallback-checkpoints"] < boundaries {
+		t.Fatalf("complete chain needs %d fallback productions, counters: %v", boundaries, snap)
 	}
 }
 

@@ -144,6 +144,20 @@ type DHTPutResp struct {
 // in case of crashes".
 type DHTReplicaPutReq struct {
 	Items []StateItem
+	// Floors piggybacks the sender's truncation low-water marks, so a
+	// successor that missed an earlier replica delete (lost message,
+	// crash window) still learns which log prefixes are gone and never
+	// resurrects their slots by promotion.
+	Floors []TruncFloor
+}
+
+// TruncFloor is one document key's truncation low-water mark: every log
+// slot of Key with timestamp <= TS has been reclaimed under a
+// fully-replicated checkpoint and must never be stored or promoted
+// again.
+type TruncFloor struct {
+	Key string
+	TS  uint64
 }
 
 // DHTGetReq fetches the value at ring position ID.
@@ -165,17 +179,31 @@ type DHTGetResp struct {
 // latest checkpoint.
 type DHTDeleteReq struct {
 	ID ids.ID
+	// Floor, when non-zero-Key, is the truncation low-water mark this
+	// delete is part of: the sweep is reclaiming every log slot of
+	// Floor.Key up to Floor.TS. The responsible peer records it so the
+	// slot can never be re-installed from a stale successor copy.
+	Floor TruncFloor
 }
 
-// DHTDeleteResp reports whether a slot existed and was removed.
+// DHTDeleteResp reports whether a slot existed and was removed. Swept
+// counts additional primary slots the delete's truncation floor
+// reclaimed on the same peer (see DHTDeleteReq.Floor) — the caller adds
+// them so a truncation sweep's total stays exact even when the floor
+// sweep beats the remaining per-slot deletes to the slots.
 type DHTDeleteResp struct {
 	Deleted bool
+	Swept   int
 }
 
 // DHTReplicaDeleteReq is pushed by a slot's owner to its successor after
 // a delete, so stale successor copies cannot resurrect truncated slots.
 type DHTReplicaDeleteReq struct {
 	IDs []ids.ID
+	// Floor carries the truncation low-water mark of the delete that
+	// triggered this push (zero Key when the delete was not part of a
+	// truncation sweep).
+	Floor TruncFloor
 }
 
 // ---------------------------------------------------------------------------

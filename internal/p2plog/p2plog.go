@@ -18,7 +18,6 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"p2pltr/internal/dht"
@@ -244,8 +243,16 @@ func (l *Log) SetPrefetch(w int) {
 // one prefetch window in flight: each window's timestamps run
 // concurrently (their slots live at independent ring positions), then
 // done(ts, fnErr) is invoked in increasing-ts order before the next
-// window starts. A non-nil error from done stops the sweep; a cancelled
-// ctx stops it between windows.
+// window starts — results are merged strictly by slot regardless of
+// which worker finished first. A non-nil error from done stops the
+// sweep; a cancelled ctx stops it between windows.
+//
+// The fan-out runs through clock.Gather, which on a virtual clock
+// admits the workers in slot order and hands the join back to this
+// goroutine under the scheduler lock: same-seed simulations replay the
+// whole window schedule identically (the Go+WaitGroup+Block shape this
+// replaced raced the last worker's exit against the join and let ticker
+// goroutines interleave nondeterministically).
 func (l *Log) mapWindowed(ctx context.Context, from, to uint64, fn func(ts uint64) error, done func(ts uint64, fnErr error) error) error {
 	window := l.prefetch
 	if window < 1 {
@@ -258,15 +265,11 @@ func (l *Log) mapWindowed(ctx context.Context, from, to uint64, fn func(ts uint6
 		}
 		n := int(end - base + 1)
 		errs := make([]error, n)
-		var wg sync.WaitGroup
+		workers := make([]func(), n)
 		for i := 0; i < n; i++ {
-			wg.Add(1)
-			l.clock.Go(func() {
-				defer wg.Done()
-				errs[i] = fn(base + uint64(i))
-			})
+			workers[i] = func() { errs[i] = fn(base + uint64(i)) }
 		}
-		l.clock.Block(wg.Wait)
+		l.clock.Gather(workers...)
 		for i := 0; i < n; i++ {
 			if err := done(base+uint64(i), errs[i]); err != nil {
 				return err
@@ -330,16 +333,35 @@ func (l *Log) FetchRange(ctx context.Context, key string, from, to uint64) ([]Re
 // windows: reclaiming a deep history costs ~ceil(k/window) round trips
 // instead of k.
 func (l *Log) Truncate(ctx context.Context, key string, upToTS uint64) (deleted int, err error) {
-	return l.TruncateRange(ctx, key, 0, upToTS)
+	return l.TruncateTo(ctx, key, 0, upToTS)
+}
+
+// TruncateTo deletes the replica slots with timestamps in
+// (afterTS, upToTS] and declares upToTS the key's truncation low-water
+// mark: every contacted Log-Peer records that no slot of key at or below
+// upToTS may ever be stored or promoted again, and reclaims any stale
+// copy it still holds. It is the prefix-truncation entry point — callers
+// assert that the whole prefix [1, upToTS] is covered by a
+// fully-replicated checkpoint AND that [1, afterTS] was already
+// reclaimed by their previous sweeps (the maintenance engine's per-key
+// horizon guarantees both). The floor is what stops the DHT's
+// successor-copy promotion from resurrecting truncated slots when churn
+// races the async copy delete — a leak no later sweep would revisit,
+// since each sweep is O(new history) by design.
+func (l *Log) TruncateTo(ctx context.Context, key string, afterTS, upToTS uint64) (deleted int, err error) {
+	return l.truncate(ctx, key, afterTS, upToTS, upToTS)
 }
 
 // TruncateRange deletes the replica slots with timestamps in
-// (afterTS, upToTS]. Periodic callers (the maintenance engine) pass the
-// previous truncation point as afterTS so each sweep costs O(new
-// history), not O(pointer) — without the low-water mark an automatic
-// truncation on a long-lived document would re-issue mostly no-op
-// deletes for the whole reclaimed prefix every period.
+// (afterTS, upToTS], with no low-water-mark side effects: a plain band
+// delete for callers that are not reclaiming a whole prefix.
 func (l *Log) TruncateRange(ctx context.Context, key string, afterTS, upToTS uint64) (deleted int, err error) {
+	return l.truncate(ctx, key, afterTS, upToTS, 0)
+}
+
+// truncate implements the windowed delete sweep; floorTS > 0 attaches
+// the truncation low-water mark to every slot delete.
+func (l *Log) truncate(ctx context.Context, key string, afterTS, upToTS, floorTS uint64) (deleted int, err error) {
 	if upToTS <= afterTS {
 		return 0, nil
 	}
@@ -352,7 +374,22 @@ func (l *Log) TruncateRange(ctx context.Context, key string, afterTS, upToTS uin
 		func(ts uint64) error {
 			var derrLast error
 			for r := 0; r < l.replicas; r++ {
-				ok, derr := l.c.DeleteID(ctx, ids.ReplicaHash(r, key, ts))
+				slot := ids.ReplicaHash(r, key, ts)
+				if floorTS > 0 {
+					// Each delete carries the sweep's truncation horizon, so
+					// the responsible peer (and, via its replica-delete push
+					// and periodic refresh, its successor) learns the
+					// low-water mark and reclaims any stale copy itself;
+					// those sweep removals ride back in the count.
+					n, derr := l.c.DeleteSlotID(ctx, slot, key, floorTS)
+					if derr != nil {
+						derrLast = derr
+						continue
+					}
+					removed.Add(int64(n))
+					continue
+				}
+				ok, derr := l.c.DeleteID(ctx, slot)
 				if derr != nil {
 					derrLast = derr
 					continue
@@ -379,7 +416,8 @@ func (l *Log) TruncateRange(ctx context.Context, key string, afterTS, upToTS uin
 	return deleted, nil
 }
 
-// logSlotKey is the debug name stored alongside a slot.
+// logSlotKey is the debug name stored alongside a slot; the format lives
+// in ids so the DHT's truncation low-water mark can parse it back.
 func logSlotKey(key string, ts uint64, replica int) string {
-	return fmt.Sprintf("log/%s/%d/r%d", key, ts, replica)
+	return ids.LogSlotName(key, ts, replica)
 }

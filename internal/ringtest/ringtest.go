@@ -11,6 +11,7 @@ import (
 	"p2pltr/internal/chord"
 	"p2pltr/internal/core"
 	"p2pltr/internal/transport"
+	"p2pltr/internal/vclock"
 )
 
 // Cluster is a simulated ring of peers.
@@ -23,6 +24,37 @@ type Cluster struct {
 // FastOptions returns peer options tuned for simulation.
 func FastOptions() core.Options {
 	return core.Options{Chord: chord.FastConfig()}
+}
+
+// NewVirtualCluster builds a ring of n peers on a virtual-time simnet,
+// seeded directly into the converged state (chord.SeedRing) so no
+// wall-clock polling is involved anywhere. The CALLING goroutine is
+// registered with the clock as the simulation driver BEFORE any node
+// goroutine is spawned — were it not, the scheduler could observe
+// quiescence mid-setup and fire the first maintenance ticks while
+// later nodes are still starting, an OS-timing race that diverges
+// same-seed runs. The caller must clk.Unregister() when done (and must
+// not Register again).
+func NewVirtualCluster(n int, opts core.Options, netOpts ...transport.SimnetOption) (*Cluster, *vclock.Virtual) {
+	clk := vclock.NewVirtual()
+	clk.Register()
+	if opts.Chord.SuccListLen == 0 {
+		opts.Chord = chord.FastConfig()
+	}
+	opts.Chord.Clock = clk
+	opts.Clock = clk
+	c := &Cluster{
+		Net:  transport.NewSimnet(append([]transport.SimnetOption{transport.WithClock(clk)}, netOpts...)...),
+		Opts: opts,
+	}
+	nodes := make([]*chord.Node, 0, n)
+	for i := 0; i < n; i++ {
+		p := core.NewPeer(c.Net.NewEndpoint(fmt.Sprintf("peer-%d", i)), opts)
+		c.Peers = append(c.Peers, p)
+		nodes = append(nodes, p.Node)
+	}
+	chord.SeedRing(nodes)
+	return c, clk
 }
 
 // NewCluster builds a ring of n peers on a fresh simnet with the given

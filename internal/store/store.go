@@ -10,6 +10,7 @@ package store
 
 import (
 	"bytes"
+	"sort"
 	"sync"
 
 	"p2pltr/internal/ids"
@@ -112,6 +113,20 @@ func (s *Store) ExtractOutside(newPred, self ids.ID) []Entry {
 			delete(s.m, id)
 		}
 	}
+	sortEntries(out)
+	return out
+}
+
+// SnapshotMeta returns every entry's Key and ID with the Value left
+// nil: sweeps that only match on names (the DHT truncation-floor sweep)
+// would otherwise deep-copy the whole store's bytes per pass.
+func (s *Store) SnapshotMeta() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Entry, 0, len(s.m))
+	for _, e := range s.m {
+		out = append(out, Entry{Key: e.Key, ID: e.ID})
+	}
 	return out
 }
 
@@ -124,7 +139,17 @@ func (s *Store) SnapshotAll() []Entry {
 		e.Value = cloneBytes(e.Value)
 		out = append(out, e)
 	}
+	sortEntries(out)
 	return out
+}
+
+// sortEntries orders entries by ring position. Exports and snapshots
+// feed replica pushes, handovers and the DHT maintenance promotion
+// loop; map iteration order there would make peers act on the same
+// state in a different order every run, which deterministic virtual-time
+// simulation cannot tolerate.
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
 }
 
 // Clear removes all entries.

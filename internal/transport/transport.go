@@ -71,3 +71,13 @@ func IsUnavailable(err error) bool {
 	return errors.Is(err, ErrUnreachable) || errors.Is(err, ErrTimeout) ||
 		errors.Is(err, ErrClosed) || errors.Is(err, context.DeadlineExceeded)
 }
+
+// IsTimeout reports whether err is a deadline-style failure — the
+// semi-synchronous model's *suspicion* of failure, which message loss
+// alone can produce. Its complement within IsUnavailable (connection
+// refused, endpoint gone) is affirmative evidence the peer is down:
+// failure detectors may act on it immediately, whereas timeouts deserve
+// a strike budget under loss.
+func IsTimeout(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, context.DeadlineExceeded)
+}

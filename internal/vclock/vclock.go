@@ -14,6 +14,7 @@ package vclock
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -51,6 +52,16 @@ type Clock interface {
 	// with the calling goroutine detached from the clock, so virtual time
 	// can keep advancing while f waits.
 	Block(f func())
+	// Gather runs each f on its own tracked goroutine and blocks the
+	// caller until all of them complete. It is the fork-join primitive
+	// concurrent fan-outs (the p2plog retrieval windows) must use on a
+	// virtual clock: the equivalent Go+WaitGroup+Block construction
+	// leaves an OS-timing race at the join — the last worker's
+	// detachment from the scheduler races the caller's reattachment, so
+	// a ticker goroutine can slip in and run concurrently with the
+	// caller — whereas Gather hands off under the scheduler lock, with
+	// exactly one goroutine runnable when it returns.
+	Gather(fs ...func())
 }
 
 // Ticker delivers periodic ticks. Unlike time.Ticker it is pull-based:
@@ -121,6 +132,19 @@ func (Real) Go(f func()) { go f() }
 
 // Block implements Clock.
 func (Real) Block(f func()) { f() }
+
+// Gather implements Clock.
+func (Real) Gather(fs ...func()) {
+	var wg sync.WaitGroup
+	for _, f := range fs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
 
 type realTicker struct{ t *time.Ticker }
 

@@ -101,13 +101,87 @@ func (v *Virtual) Unregister() {
 	v.mu.Unlock()
 }
 
-// Go implements Clock.
+// Go implements Clock. The spawned goroutine does not run immediately:
+// it first parks on a start event armed at the current instant, so the
+// scheduler admits it only when every other tracked goroutine is parked,
+// in spawn order. This is what makes the whole simulation effectively
+// single-threaded: without it the child and its spawner would be
+// runnable concurrently on real OS threads, and their timer arming (and
+// any shared RNG draws behind it) would interleave nondeterministically
+// — the windowed p2plog fan-out raced exactly like that before E12.
 func (v *Virtual) Go(f func()) {
-	v.Register()
+	v.mu.Lock()
+	v.registered++
+	v.active++
+	start := v.armLocked(v.now)
+	v.mu.Unlock()
 	go func() {
 		defer v.Unregister()
+		v.mu.Lock()
+		// The start event cannot have fired yet — this goroutine is
+		// counted active, which holds the scheduler off — but check
+		// anyway so a latched event cannot corrupt the accounting.
+		if !start.fired {
+			_ = v.parkLocked(start, nil)
+		}
+		v.mu.Unlock()
 		f()
 	}()
+}
+
+// Gather implements Clock: fork-join with a scheduler-mediated handoff.
+// The workers are admitted in slice order (each parks on a start event,
+// like Go); the caller parks on a barrier entry that the LAST finishing
+// worker fires in the same critical section as its own detachment from
+// the scheduler, so there is never an instant where a finished worker
+// and the resumed caller — or a ticker goroutine that slipped through a
+// transient quiescence — are runnable together. That instant is exactly
+// the OS-timing race Go+WaitGroup+Block suffers at the join.
+func (v *Virtual) Gather(fs ...func()) {
+	if len(fs) == 0 {
+		return
+	}
+	v.mu.Lock()
+	// The barrier entry is parkable but must never fire from the timer
+	// heap: mark it removed so popLocked discards it, leaving the
+	// explicit fire below as its only wake-up.
+	barrier := v.armLocked(v.now)
+	barrier.removed = true
+	remaining := len(fs)
+	starts := make([]*entry, len(fs))
+	for i := range fs {
+		v.registered++
+		v.active++
+		starts[i] = v.armLocked(v.now)
+	}
+	v.mu.Unlock()
+	for i, f := range fs {
+		start, fn := starts[i], f
+		go func() {
+			v.mu.Lock()
+			if !start.fired {
+				_ = v.parkLocked(start, nil)
+			}
+			v.mu.Unlock()
+			fn()
+			v.mu.Lock()
+			remaining--
+			if remaining == 0 && barrier.awaited && !barrier.fired {
+				barrier.fired = true
+				v.active++ // the caller wakes...
+				close(barrier.wake)
+			}
+			v.registered-- // ...as this worker bows out, atomically
+			v.active--
+			v.advanceLocked()
+			v.mu.Unlock()
+		}()
+	}
+	v.mu.Lock()
+	if !barrier.fired {
+		_ = v.parkLocked(barrier, nil)
+	}
+	v.mu.Unlock()
 }
 
 // Block implements Clock: it detaches the calling goroutine while f
@@ -355,6 +429,86 @@ func (v *Virtual) fireCancelledLocked(e *entry) {
 	}
 	v.active++
 	close(e.wake)
+}
+
+// Mutex is a clock-aware mutual exclusion lock for critical sections
+// that may PARK while held — a KTS master validating a patch holds the
+// per-key lock across network publishes, for example. A plain
+// sync.Mutex there deadlocks a virtual-time run: the contending
+// goroutine blocks outside the scheduler's accounting, the clock
+// believes it is still runnable, and time never advances for the
+// holder to finish. A Mutex waiter instead parks through the
+// scheduler, and unlock hands the lock to the oldest waiter at the
+// next quiescent instant — FIFO by arrival, so same-seed simulations
+// acquire in the same order every run.
+//
+// On a wall clock (NewMutex with anything but a *Virtual) it is a
+// plain sync.Mutex: zero production change.
+type Mutex struct {
+	v    *Virtual // nil: real mutex semantics
+	real sync.Mutex
+
+	// Virtual state, guarded by v.mu.
+	held    bool
+	waiters []*entry
+}
+
+// NewMutex returns a mutex whose blocking is accounted on c.
+func NewMutex(c Clock) *Mutex {
+	if v, ok := c.(*Virtual); ok {
+		return &Mutex{v: v}
+	}
+	return &Mutex{}
+}
+
+// Lock acquires the mutex, parking on the clock while it is held
+// elsewhere.
+func (m *Mutex) Lock() {
+	if m.v == nil {
+		m.real.Lock()
+		return
+	}
+	v := m.v
+	v.mu.Lock()
+	if !m.held {
+		m.held = true
+		v.mu.Unlock()
+		return
+	}
+	// The wait entry is parkable but heap-invisible (removed): it must
+	// not fire on its own — Unlock re-arms it when the lock is handed
+	// over, and the scheduler then admits the waiter at the next
+	// quiescent instant, preserving the one-runnable-goroutine
+	// invariant.
+	e := v.armLocked(v.now)
+	e.removed = true
+	m.waiters = append(m.waiters, e)
+	_ = v.parkLocked(e, nil)
+	// Woken: ownership was transferred to us by Unlock (held stays true).
+	v.mu.Unlock()
+}
+
+// Unlock releases the mutex, handing it to the oldest waiter if any.
+func (m *Mutex) Unlock() {
+	if m.v == nil {
+		m.real.Unlock()
+		return
+	}
+	v := m.v
+	v.mu.Lock()
+	if len(m.waiters) == 0 {
+		m.held = false
+		v.mu.Unlock()
+		return
+	}
+	e := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	// Re-arm into the timer heap at the original (deadline, seq): the
+	// scheduler fires it once everything else is parked, and the waiter
+	// resumes as the sole runnable goroutine, already owning the lock.
+	e.removed = false
+	heap.Push(&v.timers, e)
+	v.mu.Unlock()
 }
 
 // virtualTicker implements Ticker on a Virtual clock. The next tick is
