@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"p2pltr/internal/core"
+	"p2pltr/internal/gateway"
 	"p2pltr/internal/ids"
 	"p2pltr/internal/p2plog"
 	"p2pltr/internal/ringtest"
@@ -359,6 +360,53 @@ func BenchmarkLogTruncateDeepHistory(b *testing.B) {
 				if deleted == 0 {
 					b.Fatal("nothing deleted")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkGatewayFanout measures the serving gateway's commit-to-
+// delivery latency as the follower population grows. All followers of a
+// document on one gateway share a single feed, so delivery cost must be
+// flat in the follower count: the per-op time for followers=1000 should
+// match followers=1.
+func BenchmarkGatewayFanout(b *testing.B) {
+	for _, followers := range []int{1, 100, 1000} {
+		b.Run(fmt.Sprintf("followers=%d", followers), func(b *testing.B) {
+			c := mustCluster(b, 8, ringtest.FastOptions())
+			gcfg := gateway.Config{BatchTick: time.Millisecond, ProbeIdle: 5 * time.Millisecond}
+			gwA := gateway.New(c.Peers[0], gcfg)
+			b.Cleanup(gwA.Close)
+			gwB := gateway.New(c.Peers[1], gcfg)
+			b.Cleanup(gwB.Close)
+			ed := gwA.Session("w").Editor("bench-doc", "w")
+			views := make([]*gateway.Follower, followers)
+			for i := range views {
+				views[i] = gwB.Session("v").Follower("bench-doc")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ed.Enqueue(fmt.Sprintf("line-%d", i))
+				deadline := time.Now().Add(10 * time.Second)
+				// One line per iteration and full delivery before the
+				// next, so the target timestamp is exactly i+1.
+				for {
+					done := ed.Replica().CommittedTS() >= uint64(i+1)
+					for _, v := range views {
+						done = done && v.TS() >= uint64(i+1)
+					}
+					if done {
+						break
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("delivery of line %d stalled", i)
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+			b.StopTimer()
+			if err := ed.Err(); err != nil {
+				b.Fatal(err)
 			}
 		})
 	}

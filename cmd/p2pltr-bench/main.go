@@ -19,10 +19,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("e", "all", "experiment ID (E1..E12, A1) or 'all'")
+		exp   = flag.String("e", "all", "experiment ID (E1..E13, A1) or 'all'")
 		seed  = flag.Int64("seed", 1, "workload and latency seed")
 		quick = flag.Bool("quick", false, "reduced parameter sweeps")
-		long  = flag.Bool("long", false, "paper-scale sweeps (E11 at 10k peers, E12 at 2k)")
+		long  = flag.Bool("long", false, "paper-scale sweeps (E11 at 10k peers, E12 at 2k, E13 at 128 docs)")
 		list  = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()

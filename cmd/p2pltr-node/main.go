@@ -42,6 +42,7 @@ func main() {
 		ckptEvery = flag.Uint64("checkpoint-interval", 0, "snapshot documents every N committed patches (0 = off)")
 		doMaint   = flag.Bool("maintain", false, "run the self-healing maintenance engine for mastered keys")
 		truncGap  = flag.Duration("truncate-every", maintain.DefaultTruncateEvery, "minimum spacing between automatic log truncations per key (with -maintain)")
+		admission = flag.Int("admission-limit", 0, "max validators queued per hot key before shedding with retry-after (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -49,7 +50,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{Chord: chord.DefaultConfig(), CheckpointInterval: *ckptEvery}
+	opts := core.Options{Chord: chord.DefaultConfig(), CheckpointInterval: *ckptEvery, AdmissionLimit: *admission}
 	if *doMaint {
 		if *ckptEvery == 0 {
 			fmt.Fprintln(os.Stderr, "warning: -maintain without -checkpoint-interval: fallback checkpoint production is disabled; the engine only repairs and truncates checkpoints other nodes produce")

@@ -30,6 +30,8 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"p2pltr/internal/dht"
 	"p2pltr/internal/ids"
@@ -323,4 +325,49 @@ func slotKey(key string, ts uint64, replica int) string {
 
 func ptrKey(key string, replica int) string {
 	return fmt.Sprintf("ckptptr/%s/r%d", key, replica)
+}
+
+// ParseSlotName decodes a checkpoint slot name ("ckpt/<key>/<ts>/r<i>")
+// back into its document key and timestamp, reporting ok=false for names
+// of any other shape. Keys may themselves contain '/', so the timestamp
+// and replica components are taken from the right. The maintenance
+// discovery scan uses it to recover document keys from locally stored
+// slots.
+func ParseSlotName(name string) (key string, ts uint64, ok bool) {
+	rest, found := strings.CutPrefix(name, "ckpt/")
+	if !found {
+		return "", 0, false
+	}
+	i := strings.LastIndexByte(rest, '/')
+	if i < 0 || !strings.HasPrefix(rest[i+1:], "r") {
+		return "", 0, false
+	}
+	rest = rest[:i]
+	j := strings.LastIndexByte(rest, '/')
+	if j < 0 {
+		return "", 0, false
+	}
+	ts, err := strconv.ParseUint(rest[j+1:], 10, 64)
+	if err != nil || rest[:j] == "" {
+		return "", 0, false
+	}
+	return rest[:j], ts, true
+}
+
+// ParsePtrName decodes a checkpoint pointer record name
+// ("ckptptr/<key>/r<i>") back into its document key, reporting ok=false
+// for names of any other shape.
+func ParsePtrName(name string) (key string, ok bool) {
+	rest, found := strings.CutPrefix(name, "ckptptr/")
+	if !found {
+		return "", false
+	}
+	i := strings.LastIndexByte(rest, '/')
+	if i < 0 || !strings.HasPrefix(rest[i+1:], "r") || rest[:i] == "" {
+		return "", false
+	}
+	if _, err := strconv.Atoi(rest[i+2:]); err != nil {
+		return "", false
+	}
+	return rest[:i], true
 }

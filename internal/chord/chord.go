@@ -173,6 +173,10 @@ type Node struct {
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	// loops counts live run-loop goroutines; stop drains it by polling
+	// through the clock (see stop for why a plain wg.Wait cannot work
+	// under virtual time).
+	loops atomic.Int64
 
 	// lookupHops accumulates hop counts for experiments; lossEWMA is the
 	// observed lookup-path loss estimate that scales the eviction strike
@@ -185,6 +189,28 @@ type Node struct {
 	// evictions counts routing-state evictions — the finger-churn metric
 	// the scale experiments watch under sustained loss.
 	evictions atomic.Int64
+
+	// evictObs are additional eviction observers registered at runtime
+	// (AddEvictObserver) — unlike Config.OnEvict they can be added after
+	// the node started, which layered subsystems (the serving gateway's
+	// route cache) need. Guarded by their own mutex so registration never
+	// contends with routing state.
+	evictObsMu sync.Mutex
+	evictObs   []func(dead msg.NodeRef)
+}
+
+// AddEvictObserver registers fn to observe every routing-state eviction
+// this node performs, alongside Config.OnEvict. Like OnEvict, fn runs
+// synchronously on the evicting goroutine: it must be fast and must not
+// call back into the node. Observers cannot be removed; register
+// long-lived functions only.
+func (n *Node) AddEvictObserver(fn func(dead msg.NodeRef)) {
+	if fn == nil {
+		return
+	}
+	n.evictObsMu.Lock()
+	defer n.evictObsMu.Unlock()
+	n.evictObs = append(n.evictObs, fn)
 }
 
 // NewNode creates a node bound to ep. The node's ring ID is the hash of
@@ -318,6 +344,46 @@ func (n *Node) Create() {
 // requires ("the old responsible transfers its keys and timestamps to the
 // new Master-key"), and starts maintenance.
 func (n *Node) Join(ctx context.Context, bootstrap transport.Addr) error {
+	// A previous Join attempt that failed after installing its successor
+	// (a lost handover ack, say) leaves this node half-joined: the
+	// successor may already count us as its predecessor and the ring may
+	// already route our key range to us, so re-running the lookup can
+	// only answer our own record — no number of fresh attempts gets
+	// further. Resume that join instead: redo the handover (slots are
+	// write-once, so a repeat after a lost ack is idempotent) and start.
+	n.mu.Lock()
+	resume := !n.started && !n.stopped && len(n.succs) > 0 && n.succs[0].Addr != string(n.ep.Addr())
+	var rsucc msg.NodeRef
+	if resume {
+		rsucc = n.succs[0]
+	}
+	n.mu.Unlock()
+	if resume {
+		err := n.finishJoin(ctx, rsucc)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, transport.ErrUnreachable) {
+			// A lost message, not a dead successor: keep the partial
+			// state so the NEXT attempt resumes again. Discarding it
+			// here would be fatal — the ring already routes our range
+			// to us, so a fresh lookup can only answer our own record.
+			return fmt.Errorf("chord: resume join: %w", err)
+		}
+		// The half-installed successor is provably gone. Discard the
+		// partial state and fall through to a fresh lookup against the
+		// repaired ring (stabilization evicts the dead node, and our
+		// stale record with it).
+		n.mu.Lock()
+		if !n.started {
+			n.pred = msg.NodeRef{}
+			n.succs = nil
+			for i := range n.fingers {
+				n.fingers[i] = msg.NodeRef{}
+			}
+		}
+		n.mu.Unlock()
+	}
 	// Look up successor(id+1), not successor(id): the two differ only
 	// when routing still names this node as responsible for its own ID —
 	// stale records of a previous incarnation that crashed and is now
@@ -364,6 +430,14 @@ func (n *Node) Join(ctx context.Context, bootstrap transport.Addr) error {
 	}
 	n.mu.Unlock()
 
+	return n.finishJoin(ctx, succ)
+}
+
+// finishJoin completes a join whose successor is already installed:
+// request the key-range handover, start maintenance, and notify. This is
+// the resumable tail of Join — everything here may run a second time
+// after a lost ack without harm.
+func (n *Node) finishJoin(ctx context.Context, succ msg.NodeRef) error {
 	// Ask the successor to hand over the key range we now own.
 	if succ.Addr != string(n.ep.Addr()) {
 		hresp, err := n.Call(ctx, transport.Addr(succ.Addr), &msg.HandoverReq{NewNode: n.ref})
@@ -469,7 +543,9 @@ func (n *Node) start() {
 		// across nodes, keeping large simulations deterministic.
 		t := n.clock.NewTicker(every)
 		n.wg.Add(1)
+		n.loops.Add(1)
 		n.clock.Go(func() {
+			defer n.loops.Add(-1)
 			defer n.wg.Done()
 			defer t.Stop()
 			for {
@@ -503,6 +579,19 @@ func (n *Node) stop() {
 	cancel := n.cancel
 	n.mu.Unlock()
 	cancel()
+	// Drain the run loops by polling through the clock, not a plain
+	// wg.Wait: a loop may be queued on a vclock.Mutex (handed off at
+	// scheduler quiescence) or parked on a deadline, and blocking a
+	// registered goroutine outside the clock freezes the virtual
+	// timeline those wake-ups depend on. Block(wg.Wait) is no better —
+	// its reattach races the last loop's exit on OS timing, which
+	// perturbs admission order and breaks determinism. Each Sleep parks
+	// this goroutine through the scheduler, so by the time it is
+	// re-admitted and reads zero, every exited loop has fully
+	// unregistered and the final Wait cannot block.
+	for n.loops.Load() > 0 {
+		_ = n.clock.Sleep(context.Background(), time.Millisecond)
+	}
 	n.wg.Wait()
 }
 

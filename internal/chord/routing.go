@@ -281,6 +281,12 @@ func (n *Node) evict(dead msg.NodeRef) {
 	if n.cfg.OnEvict != nil {
 		n.cfg.OnEvict(dead)
 	}
+	n.evictObsMu.Lock()
+	obs := n.evictObs
+	n.evictObsMu.Unlock()
+	for _, fn := range obs {
+		fn(dead)
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for i := range n.fingers {

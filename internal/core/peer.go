@@ -12,14 +12,19 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"p2pltr/internal/checkpoint"
 	"p2pltr/internal/chord"
 	"p2pltr/internal/dht"
+	"p2pltr/internal/ids"
 	"p2pltr/internal/kts"
 	"p2pltr/internal/maintain"
+	"p2pltr/internal/msg"
 	"p2pltr/internal/p2plog"
+	"p2pltr/internal/store"
 	"p2pltr/internal/transport"
 	"p2pltr/internal/vclock"
 )
@@ -66,6 +71,10 @@ type Options struct {
 	// is unchanged; a *vclock.Virtual runs the whole peer in simulated
 	// time for large-scale deterministic experiments.
 	Clock vclock.Clock
+	// AdmissionLimit bounds how many validators may queue on any one
+	// key's serialization mutex at this peer's KTS master (hot-key
+	// admission; see kts.Service.SetAdmissionLimit). 0 = unlimited.
+	AdmissionLimit int
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +118,9 @@ type Peer struct {
 	opts  Options
 	clock vclock.Clock
 
+	routesMu sync.RWMutex
+	routes   RouteCache
+
 	Node *chord.Node
 	DHT  *dht.Service
 	KTS  *kts.Service
@@ -137,6 +149,9 @@ func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 	p.KTS = kts.NewService(node, p.Log)
 	p.KTS.SetClock(opts.Clock)
 	p.KTS.SetCheckpointStore(p.Ckpt)
+	if opts.AdmissionLimit > 0 {
+		p.KTS.SetAdmissionLimit(opts.AdmissionLimit)
+	}
 	node.Attach(p.DHT)
 	node.Attach(p.KTS)
 	if opts.Maintain != nil {
@@ -147,10 +162,89 @@ func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 		if cfg.Now == nil {
 			cfg.Now = opts.Clock.Now
 		}
+		if cfg.Discover == nil {
+			cfg.Discover = p.discoverKeys
+		}
 		p.Maint = maintain.NewEngine(cfg, p.KTS, p.Ckpt, p.Log, snapshotter{p})
 		node.Attach(p.Maint)
+		// Truncation floors are in-memory; re-derive them after a restart
+		// from the replicated checkpoint pointer, minus the same safety
+		// margin the truncation sweep honors.
+		keep, interval := cfg.KeepIntervals, cfg.Interval
+		p.DHT.SetFloorHint(func(ctx context.Context, key string) (uint64, bool) {
+			ptr, err := p.Ckpt.LatestPointer(ctx, key)
+			if err != nil {
+				return 0, false
+			}
+			if keep > 0 {
+				margin := uint64(keep) * interval
+				if margin == 0 || ptr <= margin {
+					return 0, true // margin incomputable or nothing below it
+				}
+				ptr -= margin
+			}
+			return ptr, true
+		})
 	}
 	return p
+}
+
+// RouteCache memoizes the Master-key route per document, letting master
+// RPCs skip the O(log N) finger-path lookup. Implementations must be
+// safe for concurrent use. Staleness is self-verifying: every master RPC
+// response carries a NotMaster verdict, so the caller drops a stale
+// entry and falls back to the full lookup — a cache can therefore never
+// produce a wrong answer, only a wasted round trip.
+type RouteCache interface {
+	// Lookup returns the memoized master for a document key.
+	Lookup(key string) (msg.NodeRef, bool)
+	// Store memoizes the master that just answered authoritatively.
+	Store(key string, master msg.NodeRef)
+	// Drop invalidates the entry after a failed or non-authoritative call.
+	Drop(key string)
+}
+
+// SetRouteCache installs rc on the master RPC path of every replica
+// opened at this peer (nil uninstalls). The gateway wires its
+// eviction-invalidated cache here.
+func (p *Peer) SetRouteCache(rc RouteCache) {
+	p.routesMu.Lock()
+	defer p.routesMu.Unlock()
+	p.routes = rc
+}
+
+func (p *Peer) routeCache() RouteCache {
+	p.routesMu.RLock()
+	defer p.routesMu.RUnlock()
+	return p.routes
+}
+
+// discoverKeys enumerates the document keys evidenced by locally stored
+// DHT slots — log records, checkpoint snapshots and pointer records, in
+// both the primary and successor-replica stores. It is the maintenance
+// engine's default discovery source: a key whose whole KTS entry chain
+// died with its master and successor is still named by these slots.
+func (p *Peer) discoverKeys() []string {
+	seen := make(map[string]struct{})
+	collect := func(entries []store.Entry) {
+		for _, e := range entries {
+			if key, _, ok := ids.ParseLogSlotName(e.Key); ok {
+				seen[key] = struct{}{}
+			} else if key, _, ok := checkpoint.ParseSlotName(e.Key); ok {
+				seen[key] = struct{}{}
+			} else if key, ok := checkpoint.ParsePtrName(e.Key); ok {
+				seen[key] = struct{}{}
+			}
+		}
+	}
+	collect(p.DHT.Store().SnapshotMeta())
+	collect(p.DHT.ReplicaStore().SnapshotMeta())
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // CheckpointInterval returns the configured checkpoint period (0 when

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"p2pltr/internal/checkpoint"
 	"p2pltr/internal/ids"
@@ -328,6 +329,17 @@ func (r *Replica) Commit(ctx context.Context) (uint64, error) {
 			p.Ops = append([]patch.Op(nil), r.tentative...)
 			p.BaseTS = r.committedTS
 
+		case msg.ValidateBusy:
+			// Hot-key admission shed this request before it touched any
+			// master state; honor the backoff hint and retry as-is.
+			d := time.Duration(resp.RetryAfterMS) * time.Millisecond
+			if d <= 0 {
+				d = 25 * time.Millisecond
+			}
+			if err := r.peer.clock.Sleep(ctx, d); err != nil {
+				return r.committedTS, err
+			}
+
 		default:
 			return r.committedTS, fmt.Errorf("core: unexpected validate status %v", resp.Status)
 		}
@@ -627,6 +639,33 @@ func rebaseOps(base *patch.Document, ops []patch.Op) []patch.Op {
 func (r *Replica) callMasterRaw(ctx context.Context, req msg.Message, notMaster func(msg.Message) bool) (msg.Message, error) {
 	tsID := ids.HashTS(r.key)
 	var lastErr error
+	rc := r.peer.routeCache()
+	if rc != nil {
+		// Route-cache fast path: a memoized master reference skips the
+		// O(log N) finger-path lookup. Safe by construction — every master
+		// RPC's response carries a NotMaster verdict, so a stale entry is
+		// detected by the callee itself, dropped, and the full lookup below
+		// runs with its complete retry budget.
+		if ref, ok := rc.Lookup(r.key); ok {
+			resp, err := r.peer.Node.CallWithTimeout(ctx, transport.Addr(ref.Addr), req, r.peer.opts.MasterOpTimeout)
+			switch {
+			case err == nil && !notMaster(resp):
+				return resp, nil
+			case err == nil:
+				rc.Drop(r.key)
+				lastErr = fmt.Errorf("core: cached route %s is not master for %s", ref.Addr, r.key)
+			default:
+				rc.Drop(r.key)
+				lastErr = err
+				if !transport.IsUnavailable(err) {
+					var re *transport.RemoteError
+					if !errors.As(err, &re) {
+						return nil, err // context cancelled or local failure
+					}
+				}
+			}
+		}
+	}
 	for attempt := 0; attempt < r.peer.opts.ClientAttempts; attempt++ {
 		if attempt > 0 {
 			if err := r.peer.clock.Sleep(ctx, r.peer.opts.ClientBackoff); err != nil {
@@ -658,6 +697,9 @@ func (r *Replica) callMasterRaw(ctx context.Context, req msg.Message, notMaster 
 		if notMaster(resp) {
 			lastErr = fmt.Errorf("core: %s is not master for %s", master.Addr, r.key)
 			continue // responsibility is mid-transfer; re-lookup
+		}
+		if rc != nil {
+			rc.Store(r.key, master)
 		}
 		return resp, nil
 	}

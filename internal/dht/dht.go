@@ -51,13 +51,19 @@ type Service struct {
 	// later sweep revisits (the maintenance engine's own low-water mark
 	// makes each sweep O(new history), so it never re-deletes them).
 	floors map[string]uint64
+	// floorHint re-derives floors lost to a process restart (see
+	// SetFloorHint); floorChecked marks keys whose hint was already
+	// consulted, so each key pays the pointer lookup once per process.
+	floorHint    func(ctx context.Context, key string) (uint64, bool)
+	floorChecked map[string]bool
 	// noSuccCopies disables the Log-Peers-Succ mechanism (ablation A1).
 	noSuccCopies bool
 }
 
 // NewService returns an empty DHT storage service.
 func NewService() *Service {
-	return &Service{st: store.New(), rep: store.New(), clock: vclock.System, floors: make(map[string]uint64)}
+	return &Service{st: store.New(), rep: store.New(), clock: vclock.System,
+		floors: make(map[string]uint64), floorChecked: make(map[string]bool)}
 }
 
 // SetClock routes the service's asynchronous successor-copy pushes (their
@@ -105,6 +111,23 @@ func (s *Service) succCopiesEnabled() bool {
 	return !s.noSuccCopies
 }
 
+// SetFloorHint wires the truncation-floor re-derivation source Maintain
+// consults for document keys that have log slots stored locally but no
+// recorded floor — the state of a freshly restarted process, whose
+// in-memory floors are gone while stale slot copies may still arrive
+// from lagging peers. The hint returns the floor to record (0 = none
+// derivable) and ok=false when its source was unreachable (the key is
+// retried next pass). core.Peer wires it to the replicated checkpoint
+// pointer minus the maintenance engine's KeepIntervals safety margin:
+// everything below that would have been reclaimed by the truncation
+// sweep in steady state and is recoverable from the checkpoint the
+// pointer names.
+func (s *Service) SetFloorHint(hint func(ctx context.Context, key string) (uint64, bool)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.floorHint = hint
+}
+
 // noteFloor records a truncation low-water mark. When it rises, the
 // replica set — and, on the truncation's own delete channel, the
 // primary store — is swept for slots below it: that sweep is what
@@ -149,6 +172,12 @@ func (s *Service) noteFloor(f msg.TruncFloor, sweepPrimary bool) (sweptPrimary i
 	}
 	return sweptPrimary
 }
+
+// Floor returns the truncation low-water mark this peer holds for a
+// document key (0 when none is known): every log slot of key with
+// ts <= Floor(key) is reclaimed history this peer will neither serve
+// nor re-accept. Exposed for tests and monitoring.
+func (s *Service) Floor(key string) uint64 { return s.floorOf(key) }
 
 // floorOf returns the recorded low-water mark for a document key.
 func (s *Service) floorOf(key string) uint64 {
@@ -317,7 +346,11 @@ func (s *Service) deleteFromSucc(idsToDrop []ids.ID, floor msg.TruncFloor) {
 // owned replica-set entries whose primary holder vanished.
 func (s *Service) Maintain(ctx context.Context) {
 	rng := s.ring()
-	if rng == nil || !s.succCopiesEnabled() {
+	if rng == nil {
+		return
+	}
+	s.deriveFloors(ctx)
+	if !s.succCopiesEnabled() {
 		return
 	}
 	// Promote owned replica entries to primary (crash takeover without
@@ -364,6 +397,57 @@ func (s *Service) Maintain(ctx context.Context) {
 	cctx, cancel := s.clk().WithTimeout(ctx, 2*time.Second)
 	defer cancel()
 	_, _ = rng.Call(cctx, transport.Addr(succ.Addr), &msg.DHTReplicaPutReq{Items: items, Floors: floors})
+}
+
+// deriveFloors is the restart-durability pass for truncation floors.
+// For each document key that appears in a locally stored log slot but
+// has no recorded floor, it consults the hint (once per key per
+// process) and records the result as an out-of-band floor — no primary
+// sweep, so it can never race an in-flight truncation's delete
+// accounting; below-floor primaries are reclaimed lazily by reads and
+// the refresh walk, like every other out-of-band floor.
+func (s *Service) deriveFloors(ctx context.Context) {
+	s.mu.Lock()
+	hint := s.floorHint
+	s.mu.Unlock()
+	if hint == nil {
+		return
+	}
+	cand := make(map[string]bool)
+	for _, st := range []*store.Store{s.st, s.rep} {
+		for _, e := range st.SnapshotMeta() {
+			key, _, ok := ids.ParseLogSlotName(e.Key)
+			if !ok {
+				continue
+			}
+			s.mu.Lock()
+			_, hasFloor := s.floors[key]
+			checked := s.floorChecked[key]
+			s.mu.Unlock()
+			if !hasFloor && !checked {
+				cand[key] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(cand))
+	for k := range cand {
+		keys = append(keys, k)
+	}
+	// Sorted: the hint issues DHT reads, which draw from seeded latency
+	// streams under deterministic simulation.
+	sort.Strings(keys)
+	for _, key := range keys {
+		ts, ok := hint(ctx, key)
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		s.floorChecked[key] = true
+		s.mu.Unlock()
+		if ts > 0 {
+			s.noteFloor(msg.TruncFloor{Key: key, TS: ts}, false)
+		}
+	}
 }
 
 // ExportOutside implements chord.Service. Only primary slots transfer;

@@ -1,0 +1,572 @@
+// Package gateway is the multi-tenant serving front of P2P-LTR: one
+// client-facing process multiplexing many documents and many clients
+// over a single ring peer.
+//
+// It layers three mechanisms over core:
+//
+//   - Session multiplexing with per-tick batching. Editors enqueue line
+//     edits at any rate; the gateway drains each editor's queue once per
+//     BatchTick and publishes ONE validated patch per editor per tick,
+//     so the KTS master sees O(editors/tick) validations instead of
+//     O(keystrokes).
+//
+//   - Read-only follower replicas. Each document a gateway serves has
+//     one feed goroutine that tails the committed P2P-Log (bootstrapping
+//     from the newest checkpoint) and publishes an immutable snapshot.
+//     Followers read that snapshot in-process: a follower read NEVER
+//     enters the OT/validation path and NEVER contacts the KTS master —
+//     viewers are free no matter how many watch a hot document.
+//
+//   - Route and checkpoint-pointer caches. The gateway memoizes the
+//     Master-key route per document (installed into the host peer via
+//     core.Peer.SetRouteCache) and the latest-checkpoint pointer per
+//     document, so a cold read costs O(1) slot fetches instead of an
+//     O(log N) ring lookup per hop. Route entries are invalidated
+//     eagerly when chord evicts the routed-to peer (via
+//     chord.Node.AddEvictObserver) and lazily by the NotMaster verdict
+//     every master RPC carries.
+//
+// Determinism: the gateway holds no lock across a clock park. Feed
+// state is mutated only by the feed's own goroutine; the published
+// snapshot and all maps are guarded by plain mutexes whose critical
+// sections never sleep, so the package needs no vclock.Mutex and runs
+// bitwise-deterministically under vclock.Virtual.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"p2pltr/internal/core"
+	"p2pltr/internal/metrics"
+	"p2pltr/internal/msg"
+	"p2pltr/internal/p2plog"
+	"p2pltr/internal/patch"
+	"p2pltr/internal/vclock"
+)
+
+// Config tunes one gateway.
+type Config struct {
+	// BatchTick is the multiplexing period: each editor commits its
+	// queued edits as one patch per tick, and each feed probes the log
+	// at least this often while traffic flows. Default 250ms.
+	BatchTick time.Duration
+	// ProbeIdle caps the feed's idle backoff: a feed that finds nothing
+	// new doubles its probe interval up to this bound, and snaps back to
+	// BatchTick on progress. Default 2s.
+	ProbeIdle time.Duration
+	// FetchTimeout bounds one feed fetch (log record, checkpoint,
+	// pointer read). Default 10s.
+	FetchTimeout time.Duration
+	// OnCommit, when non-nil, observes every batched commit: the
+	// document key, the validated timestamp, and the latency from the
+	// first enqueue of the batch to the master's ack.
+	OnCommit func(doc string, ts uint64, latency time.Duration)
+	// OnDeliver, when non-nil, observes every snapshot the feed
+	// publishes: the document key and the newest committed timestamp
+	// integrated into it.
+	OnDeliver func(doc string, ts uint64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchTick <= 0 {
+		c.BatchTick = 250 * time.Millisecond
+	}
+	if c.ProbeIdle <= 0 {
+		c.ProbeIdle = 2 * time.Second
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Gateway multiplexes sessions over one host peer. Create with New,
+// shut down with Close.
+type Gateway struct {
+	peer   *core.Peer
+	clk    vclock.Clock
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// mu guards the maps and caches below. Plain mutex: critical
+	// sections only touch memory, never the clock or the network.
+	mu       sync.Mutex
+	feeds    map[string]*feed
+	sessions map[string]*Session
+	routes   map[string]msg.NodeRef
+	ptrTS    map[string]uint64
+	closed   bool
+
+	counters *metrics.Family
+}
+
+// New mounts a gateway on peer: it installs itself as the peer's route
+// cache and registers an eviction observer so routes through a dead
+// peer die with it.
+func New(peer *core.Peer, cfg Config) *Gateway {
+	clk := peer.Clock()
+	ctx, cancel := clk.WithCancel(context.Background())
+	g := &Gateway{
+		peer:     peer,
+		clk:      clk,
+		cfg:      cfg.withDefaults(),
+		ctx:      ctx,
+		cancel:   cancel,
+		feeds:    make(map[string]*feed),
+		sessions: make(map[string]*Session),
+		routes:   make(map[string]msg.NodeRef),
+		ptrTS:    make(map[string]uint64),
+		counters: metrics.NewFamily(),
+	}
+	peer.SetRouteCache(g)
+	peer.Node.AddEvictObserver(g.invalidateAddr)
+	return g
+}
+
+// Peer returns the host ring peer.
+func (g *Gateway) Peer() *core.Peer { return g.peer }
+
+// Counters exposes the gateway's metric family: commits, batched-ops,
+// commit-errors, feeds, feed-errors, follower-reads,
+// follower-bootstraps, route-hits, route-misses, route-invalidations,
+// ptr-cache-hits, ptr-cache-misses.
+func (g *Gateway) Counters() *metrics.Family { return g.counters }
+
+// Close stops every editor and feed goroutine and uninstalls the route
+// cache. Idempotent.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.mu.Unlock()
+	g.cancel()
+	g.peer.SetRouteCache(nil)
+}
+
+// ---------------------------------------------------------------------------
+// Route cache (implements core.RouteCache) and pointer cache.
+
+// Lookup returns the memoized Master-key route for a document.
+func (g *Gateway) Lookup(key string) (msg.NodeRef, bool) {
+	g.mu.Lock()
+	ref, ok := g.routes[key]
+	g.mu.Unlock()
+	if ok {
+		g.counters.Counter("route-hits").Add(1)
+	} else {
+		g.counters.Counter("route-misses").Add(1)
+	}
+	return ref, ok
+}
+
+// Store memoizes the master that just answered authoritatively.
+func (g *Gateway) Store(key string, master msg.NodeRef) {
+	g.mu.Lock()
+	g.routes[key] = master
+	g.mu.Unlock()
+}
+
+// Drop invalidates one document's route (stale or failed).
+func (g *Gateway) Drop(key string) {
+	g.mu.Lock()
+	delete(g.routes, key)
+	g.mu.Unlock()
+}
+
+// invalidateAddr drops every route through a peer chord just evicted.
+// Runs synchronously on the evicting goroutine: memory only, no parks.
+func (g *Gateway) invalidateAddr(dead msg.NodeRef) {
+	g.mu.Lock()
+	n := int64(0)
+	for key, ref := range g.routes {
+		if ref.Addr == dead.Addr {
+			delete(g.routes, key)
+			n++
+		}
+	}
+	g.mu.Unlock()
+	if n > 0 {
+		g.counters.Counter("route-invalidations").Add(n)
+	}
+}
+
+// notePtr records a checkpoint pointer learned from a master ack or a
+// pointer read; the cache is monotone.
+func (g *Gateway) notePtr(doc string, ts uint64) {
+	if ts == 0 {
+		return
+	}
+	g.mu.Lock()
+	if ts > g.ptrTS[doc] {
+		g.ptrTS[doc] = ts
+	}
+	g.mu.Unlock()
+}
+
+// cachedPtr returns the cached latest-checkpoint timestamp for doc.
+func (g *Gateway) cachedPtr(doc string) (uint64, bool) {
+	g.mu.Lock()
+	ts, ok := g.ptrTS[doc]
+	g.mu.Unlock()
+	return ts, ok && ts > 0
+}
+
+// ---------------------------------------------------------------------------
+// Sessions.
+
+// Session is one client connection: a named scope under which the
+// client opens editors and followers on any number of documents.
+type Session struct {
+	g  *Gateway
+	id string
+}
+
+// Session returns the session named id, creating it on first use.
+func (g *Gateway) Session(id string) *Session {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.sessions[id]
+	if !ok {
+		s = &Session{g: g, id: id}
+		g.sessions[id] = s
+	}
+	return s
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// ---------------------------------------------------------------------------
+// Editors: write multiplexing.
+
+// Editor is a writing client of one document within a session. Enqueue
+// buffers line insertions; the editor's goroutine drains the buffer
+// once per BatchTick and commits it as a single validated patch.
+type Editor struct {
+	g   *Gateway
+	doc string
+	rep *core.Replica
+	f   *feed
+
+	mu      sync.Mutex
+	pending []string
+	oldest  time.Time // enqueue time of the oldest pending line
+	err     error     // last commit error
+	commits int64
+}
+
+// Editor opens a batched editor on doc; site must be unique among all
+// writers of the document (it is the OT author identity).
+func (s *Session) Editor(doc, site string) *Editor {
+	g := s.g
+	e := &Editor{
+		g:   g,
+		doc: doc,
+		rep: core.NewReplica(g.peer, doc, site),
+		f:   g.feedFor(doc),
+	}
+	g.counters.Counter("editors").Add(1)
+	g.clk.Go(e.run)
+	return e
+}
+
+// Enqueue buffers one line insertion for the next tick's batch.
+func (e *Editor) Enqueue(line string) {
+	e.mu.Lock()
+	if len(e.pending) == 0 {
+		e.oldest = e.g.clk.Now()
+	}
+	e.pending = append(e.pending, line)
+	e.mu.Unlock()
+}
+
+// Commits returns how many batched patches this editor has validated.
+func (e *Editor) Commits() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.commits
+}
+
+// Err returns the most recent commit error (nil when healthy).
+func (e *Editor) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Replica exposes the editor's underlying document replica.
+func (e *Editor) Replica() *core.Replica { return e.rep }
+
+func (e *Editor) run() {
+	g := e.g
+	t := g.clk.NewTicker(g.cfg.BatchTick)
+	defer t.Stop()
+	// Lines drained from the queue but not yet acked (a failed commit
+	// leaves them as tentative ops on the replica): the next tick
+	// retries them even when nothing new was enqueued, and they count
+	// into batched-ops exactly once, on the ack.
+	var (
+		uncounted  int
+		retryStart time.Time
+	)
+	for {
+		if err := t.Wait(g.ctx); err != nil {
+			return
+		}
+		e.mu.Lock()
+		lines := e.pending
+		start := e.oldest
+		e.pending = nil
+		e.mu.Unlock()
+		if len(lines) == 0 && uncounted == 0 {
+			continue
+		}
+		if uncounted > 0 && (len(lines) == 0 || retryStart.Before(start)) {
+			start = retryStart
+		}
+		// The whole batch becomes one tentative patch: append in order.
+		for _, line := range lines {
+			_ = e.rep.Insert(0, line)
+		}
+		ts, err := e.rep.Commit(g.ctx)
+		if err != nil {
+			if g.ctx.Err() != nil {
+				return
+			}
+			uncounted += len(lines)
+			retryStart = start
+			e.mu.Lock()
+			e.err = err
+			e.mu.Unlock()
+			g.counters.Counter("commit-errors").Add(1)
+			continue
+		}
+		lat := g.clk.Since(start)
+		e.mu.Lock()
+		e.err = nil
+		e.commits++
+		e.mu.Unlock()
+		g.counters.Counter("commits").Add(1)
+		g.counters.Counter("batched-ops").Add(int64(len(lines) + uncounted))
+		uncounted, retryStart = 0, time.Time{}
+		if g.cfg.OnCommit != nil {
+			g.cfg.OnCommit(e.doc, ts, lat)
+		}
+		// Hand the ack's knowledge to the read path: the feed need not
+		// rediscover via probing what the write path just learned.
+		e.f.hint(ts)
+		g.notePtr(e.doc, e.rep.KnownCheckpointTS())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Feeds and followers: the read path.
+
+// feed tails one document's committed history for a gateway. Exactly
+// one goroutine per (gateway, document) does the fetching; its state
+// below stateMu is the published snapshot every follower reads.
+type feed struct {
+	g   *Gateway
+	key string
+
+	// stateMu guards the snapshot; never held across a park.
+	stateMu sync.Mutex
+	lines   []string
+	ts      uint64
+	hintTS  uint64 // newest committed ts learned from local editor acks
+}
+
+func (g *Gateway) feedFor(key string) *feed {
+	g.mu.Lock()
+	f, ok := g.feeds[key]
+	if !ok {
+		f = &feed{g: g, key: key}
+		g.feeds[key] = f
+		g.mu.Unlock()
+		g.counters.Counter("feeds").Add(1)
+		g.clk.Go(f.run)
+		return f
+	}
+	g.mu.Unlock()
+	return f
+}
+
+// hint tells the feed a commit at ts exists (learned from a local
+// editor's ack), so its next probe is not an idle one.
+func (f *feed) hint(ts uint64) {
+	f.stateMu.Lock()
+	if ts > f.hintTS {
+		f.hintTS = ts
+	}
+	f.stateMu.Unlock()
+}
+
+func (f *feed) hintAhead(cur uint64) bool {
+	f.stateMu.Lock()
+	defer f.stateMu.Unlock()
+	return f.hintTS > cur
+}
+
+func (f *feed) publish(doc *patch.Document, ts uint64) {
+	lines := doc.Lines()
+	f.stateMu.Lock()
+	f.lines = lines
+	f.ts = ts
+	f.stateMu.Unlock()
+	if f.g.cfg.OnDeliver != nil {
+		f.g.cfg.OnDeliver(f.key, ts)
+	}
+}
+
+// run is the feed loop: probe the log tail, integrate new records into
+// the working document, publish a fresh snapshot per batch. The probe
+// interval doubles up to ProbeIdle while idle and snaps back to
+// BatchTick on progress (or on a local commit hint).
+//
+// The loop touches ONLY the DHT read path — p2plog.Log.Fetch and the
+// checkpoint store — never the KTS master and never OT: committed
+// patches apply verbatim in total order.
+func (f *feed) run() {
+	g := f.g
+	doc := patch.NewDocument("")
+	var ts uint64
+	booted := false
+	interval := g.cfg.BatchTick
+	for {
+		if err := g.clk.Sleep(g.ctx, interval); err != nil {
+			return
+		}
+		if !booted {
+			if d2, t2, ok := f.bootstrap(ts); ok {
+				doc, ts = d2, t2
+				f.publish(doc, ts)
+			}
+			booted = true
+		}
+		progressed := 0
+		for {
+			fctx, cancel := g.clk.WithTimeout(g.ctx, g.cfg.FetchTimeout)
+			rec, err := g.peer.Log.Fetch(fctx, f.key, ts+1)
+			cancel()
+			if err != nil {
+				if g.ctx.Err() != nil {
+					return
+				}
+				if errors.Is(err, p2plog.ErrMissing) {
+					// Either the tail genuinely ends here, or the prefix
+					// was truncated under a newer checkpoint. The cached
+					// pointer tells them apart without a master call.
+					if ptr, ok := g.cachedPtr(f.key); ok && ptr > ts {
+						if d2, t2, ok2 := f.bootstrap(ts); ok2 && t2 > ts {
+							doc, ts = d2, t2
+							f.publish(doc, ts)
+							progressed++
+							continue
+						}
+					}
+				} else {
+					g.counters.Counter("feed-errors").Add(1)
+				}
+				break
+			}
+			cp, derr := patch.Decode(rec.Patch)
+			if derr != nil {
+				g.counters.Counter("feed-errors").Add(1)
+				break
+			}
+			if aerr := doc.ApplyPatch(cp); aerr != nil {
+				g.counters.Counter("feed-errors").Add(1)
+				break
+			}
+			ts = rec.TS
+			progressed++
+		}
+		if progressed > 0 {
+			f.publish(doc, ts)
+		}
+		if progressed > 0 || f.hintAhead(ts) {
+			interval = g.cfg.BatchTick
+		} else {
+			interval *= 2
+			if interval > g.cfg.ProbeIdle {
+				interval = g.cfg.ProbeIdle
+			}
+		}
+	}
+}
+
+// bootstrap jumps the feed to the newest checkpoint past cur, if one
+// exists: cached pointer (or one pointer read) + one snapshot fetch,
+// instead of replaying the whole log. ok is false when there is no
+// checkpoint past cur or it was unreachable (the caller falls back to
+// walking the log from cur).
+func (f *feed) bootstrap(cur uint64) (*patch.Document, uint64, bool) {
+	g := f.g
+	ptr, cached := g.cachedPtr(f.key)
+	if cached {
+		g.counters.Counter("ptr-cache-hits").Add(1)
+	} else {
+		g.counters.Counter("ptr-cache-misses").Add(1)
+		fctx, cancel := g.clk.WithTimeout(g.ctx, g.cfg.FetchTimeout)
+		p, err := g.peer.Ckpt.LatestPointer(fctx, f.key)
+		cancel()
+		if err != nil {
+			g.counters.Counter("feed-errors").Add(1)
+			return nil, 0, false
+		}
+		g.notePtr(f.key, p)
+		ptr = p
+	}
+	if ptr <= cur {
+		return nil, 0, false
+	}
+	fctx, cancel := g.clk.WithTimeout(g.ctx, g.cfg.FetchTimeout)
+	cp, err := g.peer.Ckpt.Fetch(fctx, f.key, ptr)
+	cancel()
+	if err != nil {
+		g.counters.Counter("feed-errors").Add(1)
+		return nil, 0, false
+	}
+	g.counters.Counter("follower-bootstraps").Add(1)
+	return patch.FromLines(cp.Lines), cp.TS, true
+}
+
+// Follower is a read-only view of one document, served entirely from
+// the gateway's feed snapshot: Read never runs OT, never validates,
+// never contacts the KTS master.
+type Follower struct {
+	f *feed
+}
+
+// Follower opens a read-only follower on doc.
+func (s *Session) Follower(doc string) *Follower {
+	g := s.g
+	v := &Follower{f: g.feedFor(doc)}
+	g.counters.Counter("followers").Add(1)
+	return v
+}
+
+// Read returns the committed text and its timestamp as of the feed's
+// latest published snapshot.
+func (v *Follower) Read() (string, uint64) {
+	v.f.g.counters.Counter("follower-reads").Add(1)
+	v.f.stateMu.Lock()
+	defer v.f.stateMu.Unlock()
+	return strings.Join(v.f.lines, "\n"), v.f.ts
+}
+
+// TS returns the snapshot's committed timestamp without counting as a
+// read.
+func (v *Follower) TS() uint64 {
+	v.f.stateMu.Lock()
+	defer v.f.stateMu.Unlock()
+	return v.f.ts
+}

@@ -1,0 +1,216 @@
+package gateway_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"p2pltr/internal/core"
+	"p2pltr/internal/gateway"
+	"p2pltr/internal/ids"
+	"p2pltr/internal/ringtest"
+	"p2pltr/internal/vclock"
+)
+
+// newCluster builds a seeded virtual-time ring and registers teardown.
+// The calling test goroutine becomes the simulation driver.
+func newCluster(t *testing.T, n int, opts core.Options) (*ringtest.Cluster, *vclock.Virtual) {
+	t.Helper()
+	c, clk := ringtest.NewVirtualCluster(n, opts)
+	t.Cleanup(func() {
+		c.Stop()
+		clk.Unregister()
+	})
+	return c, clk
+}
+
+// waitUntil advances virtual time until cond holds, failing the test
+// after budget. It returns how much virtual time elapsed.
+func waitUntil(t *testing.T, clk *vclock.Virtual, budget time.Duration, what string, cond func() bool) time.Duration {
+	t.Helper()
+	ctx := context.Background()
+	start := clk.Now()
+	for !cond() {
+		if clk.Since(start) > budget {
+			t.Fatalf("timed out after %v of virtual time waiting for %s", budget, what)
+		}
+		_ = clk.Sleep(ctx, 50*time.Millisecond)
+	}
+	return clk.Since(start)
+}
+
+func gwConfig() gateway.Config {
+	return gateway.Config{BatchTick: 100 * time.Millisecond, ProbeIdle: 500 * time.Millisecond}
+}
+
+// TestBatchingAndFollowerFreshness is the staleness-bound test: an
+// editor on gateway A commits bursts of lines (batched, not one commit
+// per line) while a follower on gateway B must track the committed
+// state within a bounded delay of the last commit.
+func TestBatchingAndFollowerFreshness(t *testing.T) {
+	opts := ringtest.FastOptions()
+	opts.CheckpointInterval = 4
+	c, clk := newCluster(t, 8, opts)
+	ctx := context.Background()
+
+	gwA := gateway.New(c.Peers[0], gwConfig())
+	t.Cleanup(gwA.Close)
+	gwB := gateway.New(c.Peers[1], gwConfig())
+	t.Cleanup(gwB.Close)
+
+	ed := gwA.Session("alice").Editor("doc", "alice")
+	viewer := gwB.Session("bob").Follower("doc")
+
+	const bursts, perBurst = 10, 3
+	for i := 0; i < bursts; i++ {
+		for j := 0; j < perBurst; j++ {
+			ed.Enqueue(fmt.Sprintf("line-%02d-%d", i, j))
+		}
+		_ = clk.Sleep(ctx, 150*time.Millisecond)
+	}
+	waitUntil(t, clk, 60*time.Second, "all enqueued lines to commit", func() bool {
+		return gwA.Counters().Counter("batched-ops").Value() == bursts*perBurst && !ed.Replica().Dirty()
+	})
+	if err := ed.Err(); err != nil {
+		t.Fatalf("editor unhealthy after workload: %v", err)
+	}
+
+	// Multiplexing must batch: 30 lines in bursts of 3 on a 100ms tick
+	// cannot take 30 validations.
+	commits := gwA.Counters().Counter("commits").Value()
+	if commits <= 0 || commits >= bursts*perBurst {
+		t.Fatalf("expected batched commits in (0, %d), got %d", bursts*perBurst, commits)
+	}
+
+	// Staleness bound: the follower must reach the final committed state
+	// within the feed's probe ceiling plus delivery slack.
+	finalTS := ed.Replica().CommittedTS()
+	lag := waitUntil(t, clk, 3*time.Second, "follower to reach final ts", func() bool {
+		return viewer.TS() == finalTS
+	})
+	t.Logf("follower converged to ts %d with %v staleness, %d commits for %d lines", finalTS, lag, commits, bursts*perBurst)
+
+	text, ts := viewer.Read()
+	if ts != finalTS || text != ed.Replica().CommittedText() {
+		t.Fatalf("follower state diverged: ts %d vs %d, text %q vs %q", ts, finalTS, text, ed.Replica().CommittedText())
+	}
+	if reads := gwB.Counters().Counter("follower-reads").Value(); reads == 0 {
+		t.Fatal("follower reads not counted")
+	}
+}
+
+// TestFollowerReadsBypassKTS is the isolation acceptance test: a cold
+// gateway bootstraps a follower from the checkpoint pointer and serves
+// reads without a single KTS call — grants and last_ts counts across
+// the whole ring stay flat.
+func TestFollowerReadsBypassKTS(t *testing.T) {
+	opts := ringtest.FastOptions()
+	opts.CheckpointInterval = 4
+	c, clk := newCluster(t, 8, opts)
+	ctx := context.Background()
+
+	gwA := gateway.New(c.Peers[0], gwConfig())
+	t.Cleanup(gwA.Close)
+	ed := gwA.Session("w").Editor("doc", "w")
+	const edits = 10
+	for i := 0; i < edits; i++ {
+		ed.Enqueue(fmt.Sprintf("line-%02d", i))
+		_ = clk.Sleep(ctx, 150*time.Millisecond)
+	}
+	waitUntil(t, clk, 60*time.Second, "editor workload to drain", func() bool {
+		return gwA.Counters().Counter("batched-ops").Value() == edits && !ed.Replica().Dirty()
+	})
+	finalTS := ed.Replica().CommittedTS()
+
+	ktsCalls := func() (grants, lastTS int64) {
+		for _, p := range c.Peers {
+			g, _, _ := p.KTS.Stats()
+			grants += g
+			lastTS += p.KTS.LastTSCalls()
+		}
+		return
+	}
+	g0, l0 := ktsCalls()
+
+	// Cold gateway: its feed must bootstrap from the cached checkpoint
+	// pointer + log tail, never asking the master for last_ts.
+	gwB := gateway.New(c.Peers[3], gwConfig())
+	t.Cleanup(gwB.Close)
+	viewer := gwB.Session("r").Follower("doc")
+	waitUntil(t, clk, 10*time.Second, "cold follower to converge", func() bool {
+		return viewer.TS() == finalTS
+	})
+	for i := 0; i < 100; i++ {
+		if text, _ := viewer.Read(); text != ed.Replica().CommittedText() {
+			t.Fatalf("follower text diverged on read %d", i)
+		}
+	}
+	_ = clk.Sleep(ctx, time.Second) // let any stray async work surface
+
+	if n := gwB.Counters().Counter("follower-bootstraps").Value(); n == 0 {
+		t.Fatal("cold follower never bootstrapped from a checkpoint")
+	}
+	if n := gwB.Counters().Counter("follower-reads").Value(); n < 100 {
+		t.Fatalf("follower reads undercounted: %d", n)
+	}
+	g1, l1 := ktsCalls()
+	if g1 != g0 || l1 != l0 {
+		t.Fatalf("follower path touched the KTS: grants %d -> %d, last_ts calls %d -> %d", g0, g1, l0, l1)
+	}
+}
+
+// TestRouteCacheInvalidationOnEviction crashes the cached Master-key
+// peer: chord's eviction must invalidate the gateway's route eagerly,
+// the editor must re-route to the takeover master, and the follower
+// must converge on the post-crash commits.
+func TestRouteCacheInvalidationOnEviction(t *testing.T) {
+	opts := ringtest.FastOptions()
+	c, clk := newCluster(t, 8, opts)
+
+	// Host the gateway on the master's ring predecessor: its
+	// stabilization probes the master directly, so the crash is
+	// detected (and the eviction observer fired) without any editor
+	// traffic racing to Drop the route first.
+	master := c.MasterOf(uint64(ids.HashTS("doc")))
+	var host *core.Peer
+	for _, p := range c.Peers {
+		if p != master && p.Node.Successor().ID == master.Node.ID() {
+			host = p
+		}
+	}
+	if host == nil {
+		t.Fatal("no predecessor peer found for the doc master")
+	}
+
+	gw := gateway.New(host, gwConfig())
+	t.Cleanup(gw.Close)
+	sess := gw.Session("s")
+	ed := sess.Editor("doc", "w")
+	viewer := sess.Follower("doc")
+
+	ed.Enqueue("before-crash")
+	waitUntil(t, clk, 30*time.Second, "first commit", func() bool {
+		return ed.Replica().CommittedTS() >= 1
+	})
+	if gw.Counters().Counter("route-misses").Value() == 0 {
+		t.Fatal("first commit never consulted the route cache")
+	}
+
+	c.Crash(master)
+	waitUntil(t, clk, 30*time.Second, "eviction to invalidate the cached route", func() bool {
+		return gw.Counters().Counter("route-invalidations").Value() >= 1
+	})
+
+	ed.Enqueue("after-crash")
+	waitUntil(t, clk, 60*time.Second, "commit through the takeover master", func() bool {
+		return ed.Replica().CommittedTS() >= 2
+	})
+	waitUntil(t, clk, 30*time.Second, "follower to converge past the crash", func() bool {
+		return viewer.TS() == ed.Replica().CommittedTS()
+	})
+	text, _ := viewer.Read()
+	if text != ed.Replica().CommittedText() {
+		t.Fatalf("follower diverged after master crash: %q vs %q", text, ed.Replica().CommittedText())
+	}
+}

@@ -247,7 +247,10 @@ func runE12(seed int64, peers, docs, sessionsPerDoc, editsPerSession, churnRound
 	}
 	joinRetry := func(i int) error {
 		var lastErr error
-		for attempt := 0; attempt < 8; attempt++ {
+		// Generous budget: under loss, a bootstrap peer can keep
+		// answering a stale record until stabilization catches up, and
+		// the retry rotates to a different bootstrap each attempt.
+		for attempt := 0; attempt < 20; attempt++ {
 			if attempt > 0 {
 				_ = clk.Sleep(ctx, time.Second)
 			}

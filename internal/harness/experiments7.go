@@ -1,0 +1,464 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pltr/internal/chord"
+	"p2pltr/internal/core"
+	"p2pltr/internal/gateway"
+	"p2pltr/internal/metrics"
+	"p2pltr/internal/transport"
+	"p2pltr/internal/vclock"
+)
+
+// E13 is the multi-tenant SERVING experiment: where E12 stressed the
+// storage stack (KTS, log, checkpoints, maintenance) under churn, E13
+// stresses the client-facing gateway layer under a skewed tenant
+// population. A handful of gateway processes multiplex many documents
+// per client session, batching enqueued edits into per-tick commits;
+// document popularity is Zipfian with a hot head — one document edited
+// by dozens of concurrent sessions — and every editor is shadowed by
+// ~100 read-only viewers served from the gateways' follower fan-out,
+// which never touches the KTS/OT/validation path. The KTS master for
+// the hot document sheds excess validators via hot-key admission
+// (Behind fast-reject + busy shedding), which is what keeps the hot
+// document's tail commit latency bounded instead of collapsing under
+// a convoy of queued validations.
+//
+// The run reports per-document and aggregate throughput, commit
+// latency (enqueue to ack, so batching delay is included) and read
+// staleness (commit ack to follower delivery) at p50/p99, plus the
+// gateway and admission counters the shape checks pin down. Everything
+// runs on the vclock seam: a fixed seed replays the whole run
+// bitwise-identically (TestE13Deterministic).
+
+// e13Commit is one acked batch commit on the virtual timeline.
+type e13Commit struct {
+	Doc string
+	TS  uint64
+	Lat time.Duration // enqueue of the oldest batched line -> ack
+	At  time.Duration // virtual instant of the ack
+}
+
+// e13Deliver is one follower-feed publication of a committed state.
+type e13Deliver struct {
+	Doc string
+	TS  uint64
+	At  time.Duration
+}
+
+// e13DocReport is the per-document serving outcome.
+type e13DocReport struct {
+	Doc       string
+	Editors   int
+	Viewers   int
+	FinalTS   uint64
+	Commits   int
+	CommitP50 time.Duration
+	CommitP99 time.Duration
+	StaleP50  time.Duration
+	StaleP99  time.Duration
+}
+
+// e13Result is everything one E13 run measured. Wall is the only
+// nondeterministic field; TestE13Deterministic compares the rest.
+type e13Result struct {
+	Peers       int
+	TotalLines  int64
+	Commits     []e13Commit
+	Delivers    []e13Deliver
+	PerDoc      []e13DocReport
+	Aggregate   e13DocReport
+	Gateway     map[string]int64 // main gateways' counters, merged
+	ColdBoots   int64            // late gateway's checkpoint bootstraps
+	FastRejects int64            // KTS Behind fast rejections
+	BusyRejects int64            // KTS admission shedding
+	LastTSCalls int64            // must stay 0: followers bypass the KTS
+	Sent        int64
+	Dropped     int64
+	WorkloadEnd time.Duration
+	Virtual     time.Duration
+	Wall        time.Duration
+}
+
+// runE13 executes one gateway-serving run: hotEditors sessions all edit
+// doc 0, tailEditors sessions draw their document from a Zipf over the
+// rest, and every editor brings viewersPerEditor read-only followers.
+func runE13(seed int64, peers, docs, hotEditors, tailEditors, edits, viewersPerEditor int) (*e13Result, error) {
+	const (
+		latencyMedian  = 25 * time.Millisecond
+		latencySigma   = 0.5
+		interval       = 8 // checkpoint period in committed patches
+		admissionLimit = 8
+		nGateways      = 4
+		batchTick      = 250 * time.Millisecond
+		probeIdle      = 2 * time.Second
+		sampleEvery    = 500 * time.Millisecond
+		drainBudget    = 300 * time.Second // virtual
+		settleBudget   = 60 * time.Second  // virtual, per wait after drain
+	)
+	clk := vclock.NewVirtual()
+	net := transport.NewSimnet(
+		transport.WithClock(clk),
+		transport.WithLatency(transport.NewLogNormalLatency(latencyMedian, latencySigma, seed+1)),
+	)
+	opts := core.Options{
+		Chord: chord.Config{
+			SuccListLen:     8,
+			StabilizeEvery:  500 * time.Millisecond,
+			FixFingersEvery: 500 * time.Millisecond,
+			CheckPredEvery:  time.Second,
+			CallTimeout:     400 * time.Millisecond,
+			Clock:           clk,
+		},
+		CheckpointInterval: interval,
+		AdmissionLimit:     admissionLimit,
+		ClientBackoff:      time.Second,
+		Clock:              clk,
+		// No maintenance engine: its discovery pass probes last_ts,
+		// which would muddy the followers-bypass-the-KTS counter check.
+	}
+
+	res := &e13Result{Peers: peers}
+	wallStart := time.Now()
+	ctx := context.Background()
+	epoch := time.Unix(0, 0).UTC()
+	docName := func(d int) string { return fmt.Sprintf("doc-%03d", d) }
+
+	all := make([]*core.Peer, peers)
+	nodes := make([]*chord.Node, peers)
+	for i := range all {
+		all[i] = core.NewPeer(net.NewEndpoint(fmt.Sprintf("sim-%05d", i)), opts)
+		nodes[i] = all[i].Node
+	}
+	clk.Register()
+	defer clk.Unregister()
+	chord.SeedRing(nodes)
+	defer func() {
+		for _, p := range all {
+			p.Stop()
+		}
+	}()
+
+	// Commit/deliver hooks append to the shared timelines; goroutines
+	// are scheduler-serialized so the append order is reproducible.
+	var mu sync.Mutex
+	commitAt := map[string]map[uint64]time.Duration{}
+	gcfg := gateway.Config{
+		BatchTick: batchTick,
+		ProbeIdle: probeIdle,
+		OnCommit: func(doc string, ts uint64, lat time.Duration) {
+			mu.Lock()
+			if commitAt[doc] == nil {
+				commitAt[doc] = map[uint64]time.Duration{}
+			}
+			at := clk.Since(epoch)
+			commitAt[doc][ts] = at
+			res.Commits = append(res.Commits, e13Commit{Doc: doc, TS: ts, Lat: lat, At: at})
+			mu.Unlock()
+		},
+		OnDeliver: func(doc string, ts uint64) {
+			mu.Lock()
+			res.Delivers = append(res.Delivers, e13Deliver{Doc: doc, TS: ts, At: clk.Since(epoch)})
+			mu.Unlock()
+		},
+	}
+	gws := make([]*gateway.Gateway, nGateways)
+	for g := range gws {
+		gws[g] = gateway.New(all[(g*peers)/nGateways], gcfg)
+		defer gws[g].Close()
+	}
+
+	// Tenant population: a Zipfian head-heavy document popularity. The
+	// hot head (doc 0) gets every hot editor; the tail editors draw
+	// their document from a Zipf over the remaining docs.
+	editorDoc := make([]int, 0, hotEditors+tailEditors)
+	for i := 0; i < hotEditors; i++ {
+		editorDoc = append(editorDoc, 0)
+	}
+	zrng := rand.New(rand.NewSource(seed + 7))
+	zipf := rand.NewZipf(zrng, 1.4, 1, uint64(docs-2))
+	for i := 0; i < tailEditors; i++ {
+		editorDoc = append(editorDoc, 1+int(zipf.Uint64()))
+	}
+	editorsPerDoc := make([]int, docs)
+	editors := make([]*gateway.Editor, len(editorDoc))
+	for i, d := range editorDoc {
+		editorsPerDoc[d]++
+		// Sessions multiplex: a few session ids per gateway, each
+		// carrying many editors across many documents.
+		sess := gws[i%nGateways].Session(fmt.Sprintf("tenant-%d", i%(2*nGateways)))
+		editors[i] = sess.Editor(docName(d), fmt.Sprintf("site-%03d", i))
+	}
+
+	// Viewers: viewersPerEditor read-only followers per editor, spread
+	// round-robin over the gateways, plus one convergence monitor per
+	// (active doc, gateway) so every gateway's fan-out is checked.
+	var viewers []*gateway.Follower
+	monitors := map[string][]*gateway.Follower{}
+	vIdx := 0
+	for d := 0; d < docs; d++ {
+		if editorsPerDoc[d] == 0 {
+			continue
+		}
+		doc := docName(d)
+		for k := 0; k < editorsPerDoc[d]*viewersPerEditor; k++ {
+			viewers = append(viewers, gws[vIdx%nGateways].Session("viewers").Follower(doc))
+			vIdx++
+		}
+		ms := make([]*gateway.Follower, nGateways)
+		for g := range gws {
+			ms[g] = gws[g].Session("viewers").Follower(doc)
+		}
+		monitors[doc] = ms
+	}
+
+	// Editing workload: each editor enqueues `edits` bursts of 1-3
+	// lines with think-time gaps; the gateway batches them per tick.
+	doneN := 0
+	for i := range editors {
+		i := i
+		ed := editors[i]
+		rng := rand.New(rand.NewSource(seed + 1000*int64(i)))
+		clk.Go(func() {
+			defer func() {
+				mu.Lock()
+				doneN++
+				mu.Unlock()
+			}()
+			for e := 0; e < edits; e++ {
+				_ = clk.Sleep(ctx, time.Duration(200+rng.Intn(1200))*time.Millisecond)
+				burst := 1 + rng.Intn(3)
+				for b := 0; b < burst; b++ {
+					ed.Enqueue(fmt.Sprintf("s%03d/%d.%d", i, e, b))
+				}
+				mu.Lock()
+				res.TotalLines += int64(burst)
+				mu.Unlock()
+			}
+		})
+	}
+
+	gwCounter := func(name string) int64 {
+		var n int64
+		for _, g := range gws {
+			n += g.Counters().Counter(name).Value()
+		}
+		return n
+	}
+	// Drain: every enqueued line acked (batched-ops counts each line
+	// exactly once, on the ack of the batch that carried it). A
+	// rotating subset of viewers reads each sample tick.
+	vc := 0
+	sampleViewers := func() {
+		if len(viewers) == 0 {
+			return
+		}
+		for k := 0; k <= len(viewers)/20; k++ {
+			viewers[vc%len(viewers)].Read()
+			vc++
+		}
+	}
+	for {
+		_ = clk.Sleep(ctx, sampleEvery)
+		sampleViewers()
+		mu.Lock()
+		done, lines := doneN == len(editors), res.TotalLines
+		mu.Unlock()
+		if done && gwCounter("batched-ops") == lines {
+			break
+		}
+		if clk.Since(epoch) > drainBudget {
+			return nil, fmt.Errorf("E13: workload did not drain: %d/%d lines acked", gwCounter("batched-ops"), lines)
+		}
+	}
+	res.WorkloadEnd = clk.Since(epoch)
+
+	// Follower convergence: on every active document, the monitor on
+	// every gateway must reach the final committed timestamp.
+	finalTS := map[string]uint64{}
+	mu.Lock()
+	for doc, m := range commitAt {
+		for ts := range m {
+			if ts > finalTS[doc] {
+				finalTS[doc] = ts
+			}
+		}
+	}
+	mu.Unlock()
+	converged := func() bool {
+		for doc, ms := range monitors {
+			for _, m := range ms {
+				if m.TS() != finalTS[doc] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for !converged() {
+		if clk.Since(epoch)-res.WorkloadEnd > settleBudget {
+			return nil, fmt.Errorf("E13: follower fan-out never converged")
+		}
+		_ = clk.Sleep(ctx, sampleEvery)
+		sampleViewers()
+	}
+
+	// Late tenant: a cold gateway joins after the fact and serves the
+	// hot document read-only. Its feed must bootstrap from the cached
+	// checkpoint pointer + log tail — no replay of the full history,
+	// and still not a single KTS call. No hooks: its deliveries happen
+	// long after the commits and would pollute the staleness join.
+	gwCold := gateway.New(all[peers-1], gateway.Config{BatchTick: batchTick, ProbeIdle: probeIdle})
+	defer gwCold.Close()
+	late := gwCold.Session("late-tenant").Follower(docName(0))
+	for late.TS() != finalTS[docName(0)] {
+		if clk.Since(epoch)-res.WorkloadEnd > 2*settleBudget {
+			return nil, fmt.Errorf("E13: late cold follower never converged (at %d of %d)", late.TS(), finalTS[docName(0)])
+		}
+		_ = clk.Sleep(ctx, sampleEvery)
+	}
+	res.ColdBoots = gwCold.Counters().Counter("follower-bootstraps").Value()
+
+	// Post-hoc join: staleness of a delivered state is delivery instant
+	// minus the ack instant of the commit it carries. A feed can hand a
+	// state to followers before the committing editor's own ack lands;
+	// that is negative staleness and clamps to zero.
+	commitH := map[string]*metrics.Histogram{}
+	staleH := map[string]*metrics.Histogram{}
+	commitAll, staleAll := metrics.NewHistogram(), metrics.NewHistogram()
+	commitN := map[string]int{}
+	for _, c := range res.Commits {
+		if commitH[c.Doc] == nil {
+			commitH[c.Doc] = metrics.NewHistogram()
+		}
+		commitH[c.Doc].Observe(c.Lat)
+		commitAll.Observe(c.Lat)
+		commitN[c.Doc]++
+	}
+	for _, d := range res.Delivers {
+		at, ok := commitAt[d.Doc][d.TS]
+		if !ok {
+			continue
+		}
+		s := d.At - at
+		if s < 0 {
+			s = 0
+		}
+		if staleH[d.Doc] == nil {
+			staleH[d.Doc] = metrics.NewHistogram()
+		}
+		staleH[d.Doc].Observe(s)
+		staleAll.Observe(s)
+	}
+	report := func(doc string, editors, viewers int, ch, sh *metrics.Histogram, commits int, final uint64) e13DocReport {
+		r := e13DocReport{Doc: doc, Editors: editors, Viewers: viewers, FinalTS: final, Commits: commits}
+		if ch != nil {
+			r.CommitP50, r.CommitP99 = ch.Quantile(0.5), ch.Quantile(0.99)
+		}
+		if sh != nil {
+			r.StaleP50, r.StaleP99 = sh.Quantile(0.5), sh.Quantile(0.99)
+		}
+		return r
+	}
+	totalEditors, totalViewers := 0, 0
+	var maxTS uint64
+	for d := 0; d < docs; d++ {
+		if editorsPerDoc[d] == 0 {
+			continue
+		}
+		doc := docName(d)
+		nv := editorsPerDoc[d] * viewersPerEditor
+		totalEditors += editorsPerDoc[d]
+		totalViewers += nv
+		if finalTS[doc] > maxTS {
+			maxTS = finalTS[doc]
+		}
+		res.PerDoc = append(res.PerDoc, report(doc, editorsPerDoc[d], nv, commitH[doc], staleH[doc], commitN[doc], finalTS[doc]))
+	}
+	res.Aggregate = report("ALL", totalEditors, totalViewers, commitAll, staleAll, len(res.Commits), maxTS)
+
+	agg := metrics.NewFamily()
+	for _, g := range gws {
+		agg.Merge(g.Counters())
+	}
+	res.Gateway = agg.Snapshot()
+	for _, p := range all {
+		f, b := p.KTS.AdmissionStats()
+		res.FastRejects += f
+		res.BusyRejects += b
+		res.LastTSCalls += p.KTS.LastTSCalls()
+	}
+	res.Sent, res.Dropped = net.Stats()
+	res.Virtual = clk.Since(epoch)
+	res.Wall = time.Since(wallStart)
+	return res, nil
+}
+
+// RunE13 runs the multi-tenant serving experiment and checks its shape.
+// The standard size IS the acceptance configuration: >= 64 documents,
+// a 100:1 viewer:editor ratio, and a hot head with >= 32 concurrent
+// editors; CI's scale-smoke job runs exactly this.
+func RunE13(cfg Config) error {
+	peers, docs, hot, tail, edits, viewersPer := 64, 64, 32, 16, 6, 100
+	if cfg.Long {
+		peers, docs, hot, tail, edits = 128, 128, 48, 32, 8
+	}
+	res, err := runE13(cfg.Seed, peers, docs, hot, tail, edits, viewersPer)
+	if err != nil {
+		return err
+	}
+
+	tbl := metrics.NewTable("doc", "editors", "viewers", "final-ts", "commits", "commit-p50", "commit-p99", "stale-p50", "stale-p99")
+	rows := append(append([]e13DocReport{}, res.PerDoc...), res.Aggregate)
+	for _, r := range rows {
+		tbl.AddRow(r.Doc, r.Editors, r.Viewers, r.FinalTS, r.Commits, r.CommitP50, r.CommitP99, r.StaleP50, r.StaleP99)
+	}
+	fmt.Fprint(cfg.Out, tbl.String())
+	fmt.Fprintf(cfg.Out, "gateway counters: %v\n", res.Gateway)
+	sec := res.WorkloadEnd.Seconds()
+	fmt.Fprintf(cfg.Out, "peers=%d gateways=4+1 lines=%d commits=%d (%.2f commits/s, %.2f lines/s aggregate) admission: fast-rejects=%d busy-rejects=%d last_ts-calls=%d cold-bootstraps=%d messages=%d virtual=%s wall=%s speedup=%.0fx\n",
+		res.Peers, res.TotalLines, res.Aggregate.Commits,
+		float64(res.Aggregate.Commits)/sec, float64(res.TotalLines)/sec,
+		res.FastRejects, res.BusyRejects, res.LastTSCalls, res.ColdBoots, res.Sent,
+		res.Virtual.Round(time.Millisecond), res.Wall.Round(time.Millisecond),
+		float64(res.Virtual)/float64(res.Wall))
+
+	// Shape checks.
+	if res.Aggregate.Commits == 0 || res.Gateway["batched-ops"] != res.TotalLines {
+		return fmt.Errorf("E13: degenerate workload: %d commits, %d/%d lines acked", res.Aggregate.Commits, res.Gateway["batched-ops"], res.TotalLines)
+	}
+	if res.Gateway["commits"] >= res.Gateway["batched-ops"] {
+		return fmt.Errorf("E13: no batching happened: %d commits for %d lines", res.Gateway["commits"], res.Gateway["batched-ops"])
+	}
+	if res.LastTSCalls != 0 {
+		return fmt.Errorf("E13: follower path leaked into the KTS: %d last_ts calls", res.LastTSCalls)
+	}
+	if res.Gateway["follower-reads"] == 0 {
+		return fmt.Errorf("E13: no follower reads sampled")
+	}
+	if res.FastRejects+res.BusyRejects == 0 {
+		return fmt.Errorf("E13: hot document never engaged admission (fast=%d busy=%d)", res.FastRejects, res.BusyRejects)
+	}
+	if res.ColdBoots == 0 {
+		return fmt.Errorf("E13: late gateway never bootstrapped from a checkpoint")
+	}
+	hotDoc := res.PerDoc[0]
+	if hotDoc.Editors < hot || hotDoc.FinalTS < uint64(hot) {
+		return fmt.Errorf("E13: hot head too cold: %d editors, final ts %d", hotDoc.Editors, hotDoc.FinalTS)
+	}
+	// The admission bound: a convoy's enqueue-to-ack latency is mostly
+	// queueing, so the honest bound is a throughput floor — the hot
+	// master must keep draining its serialized commits at >= one slot
+	// per 2s of virtual time even at the p99 tail. Without shedding,
+	// queued validators time out and retry-storm, and this collapses.
+	if bound := time.Duration(hotDoc.FinalTS) * 2 * time.Second; hotDoc.CommitP99 > bound {
+		return fmt.Errorf("E13: hot-doc p99 commit latency %v exceeds the admission bound %v (2s x %d commits)", hotDoc.CommitP99, bound, hotDoc.FinalTS)
+	}
+	fmt.Fprintln(cfg.Out, "shape check: four gateways multiplex a Zipfian tenant mix — batching many lines per validation, fanning committed states out to ~100 viewers per editor without a single KTS call on the read path, bootstrapping a late cold gateway from the checkpoint pointer, and shedding the hot document's validator convoy via admission so its p99 commit latency stays bounded")
+	return nil
+}

@@ -50,6 +50,7 @@ func Experiments() []Experiment {
 		{ID: "E10", Title: "Self-healing maintenance: fallback checkpoints, slot repair & auto-truncation", Paper: "beyond the paper: maintain engine closing the checkpoint liveness gaps (ROADMAP)", Run: RunE10, Default: true},
 		{ID: "E11", Title: "Virtual-time scale: ring convergence under churn & sustained loss at 1k-10k peers", Paper: "the paper's multi-thousand-peer evaluation regime, via deterministic discrete-event simulation (ROADMAP)", Run: RunE11, Default: true},
 		{ID: "E12", Title: "Full-stack scale: KTS/log/checkpoint/maintain under churn, loss & boundary-author death at 512-2k peers", Paper: "the paper's end-to-end editing workloads at TestGround-like scale, deterministically replayable (ROADMAP)", Run: RunE12, Default: true},
+		{ID: "E13", Title: "Multi-tenant serving gateway: session batching, follower fan-out & hot-key admission under Zipfian popularity", Paper: "beyond the paper: a client-facing serving layer over the P2P-LTR stack (ROADMAP)", Run: RunE13, Default: true},
 		{ID: "A1", Title: "Ablation: Hr factor vs Log-Peers-Succ vs read repair", Paper: "design-choice ablation (DESIGN.md §3, availability mechanisms)", Run: RunA1, Default: true},
 	}
 }

@@ -12,8 +12,8 @@ func quickCfg() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
-		t.Fatalf("have %d experiments, want 13", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("have %d experiments, want 14", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"p2pltr/internal/checkpoint"
 	"p2pltr/internal/chord"
@@ -77,6 +78,28 @@ type entry struct {
 	// last grants, so answering authoritatively from them can
 	// under-report after a takeover.
 	synced bool
+
+	// fastLastTS/fastCkptTS are lock-free mirrors of lastTS/ckptTS,
+	// refreshed (noteLocked) whenever the locked values rise. Both locked
+	// values are monotone lower bounds of granted history — even on an
+	// unsynced replica — so a validator whose claimed ts is below
+	// fastLastTS is provably Behind and can be answered without parking
+	// on the per-key mutex. That fast path is what keeps a thundering
+	// herd of stale retries on a hot document O(1) at the master.
+	fastLastTS atomic.Uint64
+	fastCkptTS atomic.Uint64
+	// inflight counts validators currently admitted past the fast path
+	// for this key; the admission limit sheds the excess with
+	// ValidateBusy instead of queueing them all on mu.
+	inflight atomic.Int64
+}
+
+// noteLocked publishes the entry's monotone counters to the lock-free
+// mirrors the hot-key fast path reads. Called with e.mu held after any
+// raise of lastTS or ckptTS.
+func (e *entry) noteLocked() {
+	e.fastLastTS.Store(e.lastTS)
+	e.fastCkptTS.Store(e.ckptTS)
 }
 
 // Service is the timestamp service mounted on a Chord node.
@@ -89,11 +112,18 @@ type Service struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 
+	// admission is the per-key inflight validator limit (0 = unlimited);
+	// see SetAdmissionLimit.
+	admission atomic.Int64
+
 	// stats for the experiments
-	statsMu   sync.Mutex
-	grants    int64
-	rejects   int64
-	takeovers int64
+	statsMu     sync.Mutex
+	grants      int64
+	rejects     int64
+	takeovers   int64
+	fastRejects int64
+	busyRejects int64
+	lastTSCalls int64
 }
 
 // NewService creates a timestamp service. log is used for sendToPublish
@@ -115,6 +145,19 @@ func (s *Service) SetClock(c vclock.Clock) {
 // checkpoint announcements, maintains the per-key latest-checkpoint
 // pointer, and fast-forwards last-ts recovery across truncated history.
 func (s *Service) SetCheckpointStore(cs *checkpoint.Store) { s.ckpt = cs }
+
+// SetAdmissionLimit bounds how many validators may wait on any one key's
+// serialization mutex at once (hot-key admission). Requests beyond the
+// limit receive ValidateBusy with a backoff hint instead of queueing, so
+// a thousand concurrent editors of one document degrade to bounded
+// per-request latency rather than an unbounded master queue. limit <= 0
+// restores the default unlimited behavior.
+func (s *Service) SetAdmissionLimit(limit int) {
+	if limit < 0 {
+		limit = 0
+	}
+	s.admission.Store(int64(limit))
+}
 
 // Name implements chord.Service.
 func (s *Service) Name() string { return ServiceName }
@@ -156,6 +199,35 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 		return &msg.ValidateResp{Status: msg.ValidateNotMaster}, nil
 	}
 	e := s.entryFor(r.Key)
+
+	// Batched-grant fast path: the lock-free lastTS mirror is a monotone
+	// lower bound of granted history, so a claimed ts below it is
+	// provably Behind — answer the stale thundering herd without ever
+	// parking on the per-key serialization.
+	if v := e.fastLastTS.Load(); r.TS < v {
+		s.bumpFastRejects()
+		return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: v, CkptTS: e.fastCkptTS.Load()}, nil
+	}
+
+	// Hot-key admission: shed validators beyond the inflight limit with a
+	// backoff hint instead of queueing them all on the mutex.
+	if limit := s.admission.Load(); limit > 0 {
+		n := e.inflight.Add(1)
+		if n > limit {
+			e.inflight.Add(-1)
+			s.bumpBusyRejects()
+			retry := uint64(n-limit) * 25
+			if retry > 500 {
+				retry = 500
+			}
+			return &msg.ValidateResp{
+				Status: msg.ValidateBusy, LastTS: e.fastLastTS.Load(),
+				CkptTS: e.fastCkptTS.Load(), RetryAfterMS: retry,
+			}, nil
+		}
+		defer e.inflight.Add(-1)
+	}
+
 	// The paper: "the corresponding Master-key serves each user peer
 	// sequentially" — the per-key mutex is that serialization.
 	e.mu.Lock()
@@ -196,6 +268,7 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 			// timestamp with a different patch. Converge on the log:
 			// fast-forward and tell the caller to retrieve.
 			e.lastTS = newTS
+			e.noteLocked()
 			s.replicateToSucc(ctx, r.Key, tsID, e)
 			s.bumpRejects()
 			return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: e.lastTS, CkptTS: e.ckptTS}, nil
@@ -208,6 +281,7 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 	// acknowledge the user with the validated timestamp.
 	e.lastTS = newTS
 	e.synced = true
+	e.noteLocked()
 	s.replicateToSucc(ctx, r.Key, tsID, e)
 	s.bumpGrants()
 	return &msg.ValidateResp{Status: msg.ValidateOK, ValidatedTS: newTS, LastTS: newTS, CkptTS: e.ckptTS}, nil
@@ -242,6 +316,7 @@ func (s *Service) syncFromLogLocked(ctx context.Context, key string, e *entry) e
 		e.lastTS++
 	}
 	e.synced = true
+	e.noteLocked()
 	return nil
 }
 
@@ -267,6 +342,12 @@ func (s *Service) handleLastTS(ctx context.Context, r *msg.LastTSReq) *msg.LastT
 	if !s.ring.Owns(tsID) {
 		return &msg.LastTSResp{NotMaster: true}
 	}
+	s.statsMu.Lock()
+	s.lastTSCalls++
+	s.statsMu.Unlock()
+	s.mu.Lock()
+	_, had := s.entries[r.Key]
+	s.mu.Unlock()
 	e := s.entryFor(r.Key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -275,7 +356,7 @@ func (s *Service) handleLastTS(ctx context.Context, r *msg.LastTSReq) *msg.LastT
 		// replica value, which is still monotone — just possibly stale.
 		_ = s.syncFromLogLocked(ctx, r.Key, e)
 	}
-	return &msg.LastTSResp{LastTS: e.lastTS, Known: e.lastTS > 0, CkptTS: e.ckptTS}
+	return &msg.LastTSResp{LastTS: e.lastTS, Known: e.lastTS > 0, CkptTS: e.ckptTS, HadEntry: had}
 }
 
 // handleAnnounce installs a freshly published checkpoint as the key's
@@ -309,11 +390,13 @@ func (s *Service) handleAnnounce(ctx context.Context, r *msg.CheckpointAnnounceR
 			return nil, fmt.Errorf("kts: announced checkpoint unreadable: %w", err)
 		}
 		e.ckptTS = r.TS
+		e.noteLocked()
 		// Pointer records are advisory replicas of e.ckptTS; a failed
 		// write heals on the next announce or Maintain pass.
 		_ = s.ckpt.WritePointer(ctx, r.Key, r.TS)
 	} else {
 		e.ckptTS = r.TS
+		e.noteLocked()
 	}
 	s.replicateToSucc(ctx, r.Key, tsID, e)
 	return &msg.CheckpointAnnounceResp{Accepted: true, CkptTS: e.ckptTS}, nil
@@ -354,6 +437,7 @@ func (s *Service) handleReplicate(r *msg.ReplicateTSReq) {
 	if r.CkptTS > e.ckptTS {
 		e.ckptTS = r.CkptTS
 	}
+	e.noteLocked()
 	e.synced = false
 }
 
@@ -407,6 +491,54 @@ func (s *Service) Maintain(ctx context.Context) {
 			Key: kv.key, TSID: kv.tsID, LastTS: last, CkptTS: ckpt,
 		})
 	}
+}
+
+// EnsureKey re-establishes the timestamp entry chain for a key this node
+// has evidence of (e.g. log or checkpoint slots in its DHT store) but no
+// local entry for. It is the maintenance engine's answer to total
+// entry-chain loss: when both the master and its successor crash, no
+// surviving node holds an entry, so the per-key scan never visits the
+// key again even though its log slots persist. If this node masters
+// ht(key), the entry is rebuilt locally from the authoritative log;
+// otherwise a last_ts probe is sent to the current master, whose handler
+// rebuilds the entry as a side effect. Reports whether an entry was
+// (re)established anywhere.
+func (s *Service) EnsureKey(ctx context.Context, key string) (created bool, err error) {
+	s.mu.Lock()
+	_, exists := s.entries[key]
+	s.mu.Unlock()
+	if exists {
+		return false, nil
+	}
+	tsID := ids.HashTS(key)
+	if s.ring.Owns(tsID) {
+		e := s.entryFor(key)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.synced {
+			return false, nil
+		}
+		if err := s.syncFromLogLocked(ctx, key, e); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	master, _, err := s.ring.FindSuccessor(ctx, tsID)
+	if err != nil {
+		return false, err
+	}
+	if master.IsZero() || master.ID == s.ring.Ref().ID {
+		return false, nil
+	}
+	resp, err := s.ring.Call(ctx, transport.Addr(master.Addr), &msg.LastTSReq{Key: key})
+	if err != nil {
+		return false, err
+	}
+	lr, ok := resp.(*msg.LastTSResp)
+	if !ok || lr.NotMaster {
+		return false, nil
+	}
+	return !lr.HadEntry, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -492,6 +624,7 @@ func (s *Service) Import(items []msg.StateItem) {
 		if ckpt > e.ckptTS {
 			e.ckptTS = ckpt
 		}
+		e.noteLocked()
 		// Transferred state is another node's view; verify against the
 		// log before answering for it authoritatively.
 		e.synced = false
@@ -617,6 +750,24 @@ func (s *Service) Stats() (grants, rejects, takeovers int64) {
 	return s.grants, s.rejects, s.takeovers
 }
 
+// AdmissionStats returns the hot-key protection counters: Behind
+// rejections answered on the lock-free fast path, and requests shed with
+// ValidateBusy by the admission limit.
+func (s *Service) AdmissionStats() (fastRejects, busyRejects int64) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.fastRejects, s.busyRejects
+}
+
+// LastTSCalls returns how many last_ts RPCs this node has served. The
+// gateway's follower-isolation tests assert it stays flat while
+// followers read.
+func (s *Service) LastTSCalls() int64 {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.lastTSCalls
+}
+
 func (s *Service) bumpGrants() {
 	s.statsMu.Lock()
 	s.grants++
@@ -626,5 +777,20 @@ func (s *Service) bumpGrants() {
 func (s *Service) bumpRejects() {
 	s.statsMu.Lock()
 	s.rejects++
+	s.statsMu.Unlock()
+}
+
+// bumpFastRejects counts a fast-path Behind answer; it is also a reject,
+// so the aggregate reject counter the experiments report stays exact.
+func (s *Service) bumpFastRejects() {
+	s.statsMu.Lock()
+	s.rejects++
+	s.fastRejects++
+	s.statsMu.Unlock()
+}
+
+func (s *Service) bumpBusyRejects() {
+	s.statsMu.Lock()
+	s.busyRejects++
 	s.statsMu.Unlock()
 }

@@ -39,6 +39,7 @@ package maintain
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -71,6 +72,11 @@ const DefaultRepairEvery = 10 * time.Second
 // DefaultMaxCatchupIntervals caps how many missed checkpoint intervals
 // the fallback producer closes in one pass when none is configured.
 const DefaultMaxCatchupIntervals = 4
+
+// DefaultDiscoverEvery is the minimum spacing between DHT-walk discovery
+// passes when none is configured. Discovery probes each absent key with
+// one last_ts RPC, so it runs well below the pass rate.
+const DefaultDiscoverEvery = 30 * time.Second
 
 // Config tunes the engine.
 type Config struct {
@@ -113,6 +119,21 @@ type Config struct {
 	// after a boundary. 0 reclaims everything the pointer covers —
 	// maximum storage win, maximum reliance on the rebase policy.
 	KeepIntervals int
+	// Discover enumerates document keys evidenced by this peer's locally
+	// stored DHT slots (log records, checkpoint snapshots, pointer
+	// records). When set, the engine periodically probes every discovered
+	// key the KTS scan did not visit and re-establishes its timestamp
+	// entry chain via kts.EnsureKey. This is the recovery path for total
+	// entry-chain loss: when a key's master and successor crash together,
+	// no surviving node holds an entry, so the per-key scan would never
+	// visit the key again even though its log and checkpoint slots
+	// persist. core.Peer fills it with a DHT store scan when left nil and
+	// maintenance is enabled.
+	Discover func() []string
+	// DiscoverEvery rate-limits the discovery pass (DefaultDiscoverEvery
+	// if zero; negative disables the throttle so every pass discovers —
+	// tests only).
+	DiscoverEvery time.Duration
 	// Now overrides the engine's clock; tests use it to drive the
 	// truncation rate limiter deterministically. Defaults to time.Now.
 	Now func() time.Time
@@ -149,6 +170,8 @@ type Engine struct {
 	// truncation low-water mark (a reset costs a full O(pointer)
 	// re-sweep of no-op deletes).
 	notMaster map[string]int
+	// lastDiscover rate-limits the DHT-walk discovery pass.
+	lastDiscover time.Time
 
 	counters *metrics.Family
 }
@@ -174,6 +197,12 @@ func NewEngine(cfg Config, ts *kts.Service, store *checkpoint.Store, log *p2plog
 	case cfg.MaxCatchupIntervals < 0:
 		cfg.MaxCatchupIntervals = 0
 	}
+	switch {
+	case cfg.DiscoverEvery == 0:
+		cfg.DiscoverEvery = DefaultDiscoverEvery
+	case cfg.DiscoverEvery < 0:
+		cfg.DiscoverEvery = 0
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -194,7 +223,8 @@ func NewEngine(cfg Config, ts *kts.Service, store *checkpoint.Store, log *p2plog
 
 // Counters exposes the engine's action counter family: passes,
 // fallback-checkpoints, slots-repaired, pointer-refreshes, truncations,
-// slots-truncated, truncations-ratelimited, repairs-skipped, errors.
+// slots-truncated, truncations-ratelimited, repairs-skipped,
+// keys-discovered, errors.
 func (e *Engine) Counters() *metrics.Family { return e.counters }
 
 // Name implements chord.Service.
@@ -228,6 +258,7 @@ func (e *Engine) Maintain(ctx context.Context) {
 		mastered[st.Key] = true
 		e.maintainKey(ctx, st)
 	}
+	e.discover(ctx, states)
 	// Drop throttle state for keys whose mastership durably moved away,
 	// so a long-lived node's bookkeeping stays bounded by the keys it
 	// serves — but only after several consecutive misses, tolerating
@@ -258,6 +289,44 @@ func (e *Engine) Maintain(ctx context.Context) {
 		}
 	}
 	e.mu.Unlock()
+}
+
+// discover is the DHT-walk completeness pass: probe every key named by a
+// locally stored slot but absent from the KTS scan, so a key whose whole
+// entry chain died with its master and successor is re-established from
+// the surviving write-once record. Probes run in sorted key order (the
+// RPCs draw from seeded latency streams under deterministic simulation).
+func (e *Engine) discover(ctx context.Context, states []kts.KeyState) {
+	if e.cfg.Discover == nil {
+		return
+	}
+	now := e.cfg.Now()
+	e.mu.Lock()
+	if e.cfg.DiscoverEvery > 0 && !e.lastDiscover.IsZero() && now.Sub(e.lastDiscover) < e.cfg.DiscoverEvery {
+		e.mu.Unlock()
+		return
+	}
+	e.lastDiscover = now
+	e.mu.Unlock()
+	known := make(map[string]bool, len(states))
+	for _, st := range states {
+		known[st.Key] = true
+	}
+	keys := e.cfg.Discover()
+	sort.Strings(keys)
+	for _, key := range keys {
+		if key == "" || known[key] {
+			continue
+		}
+		created, err := e.kts.EnsureKey(ctx, key)
+		if err != nil {
+			e.counters.Counter("errors").Add(1)
+			continue
+		}
+		if created {
+			e.counters.Counter("keys-discovered").Add(1)
+		}
+	}
 }
 
 func (e *Engine) maintainKey(ctx context.Context, st kts.KeyState) {

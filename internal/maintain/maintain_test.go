@@ -413,6 +413,71 @@ func TestFallbackPublishesEveryBoundary(t *testing.T) {
 	}
 }
 
+// TestDiscoveryResurrectsLostEntryChain: crash the Master-key peer AND
+// its successor at once, so the key's whole KTS entry chain — primary
+// entry plus the replicated copy — dies with them. No client traffic
+// follows: the maintenance discovery pass alone must notice the key
+// (its log slots still name it in surviving stores) and rebuild the
+// entry from the log, so the total order continues where it left off.
+func TestDiscoveryResurrectsLostEntryChain(t *testing.T) {
+	const interval = 4
+	c := newMaintCluster(t, 7, interval, maintain.Config{
+		TruncateEvery: time.Hour,
+		DiscoverEvery: -1, // every pass: the test wants the discovery latency, not the throttle
+	})
+	key := "lost-chain"
+	master := c.MasterOf(uint64(ids.HashTS(key)))
+	succAddr := master.Node.Successor().Addr
+	var succ *core.Peer
+	for _, p := range c.Peers {
+		if string(p.Addr()) == succAddr {
+			succ = p
+		}
+	}
+	if succ == nil || succ == master {
+		t.Fatalf("no distinct successor for master %s", master)
+	}
+	var host *core.Peer
+	for _, p := range c.Peers {
+		if p != master && p != succ {
+			host = p
+			break
+		}
+	}
+	w := core.NewReplica(host, key, "author")
+	last := commit(t, w, 3)
+
+	c.Crash(master)
+	c.Crash(succ)
+
+	liveLastTS := func() (uint64, bool) {
+		for _, p := range c.Live() {
+			if ts, ok := p.KTS.LastTSLocal(key); ok {
+				return ts, true
+			}
+		}
+		return 0, false
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if counters(c)["keys-discovered"] >= 1 {
+			if ts, ok := liveLastTS(); ok && ts == last {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("entry chain never resurrected by discovery; counters %v", counters(c))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The resurrected entry carries the authoritative last-ts: the next
+	// commit extends the total order instead of restarting it.
+	if ts := commit(t, w, 1); ts != last+1 {
+		t.Fatalf("post-resurrection commit got ts %d, want %d", ts, last+1)
+	}
+}
+
 // TestKeepIntervalsMargin: with a safety margin configured, automatic
 // truncation holds back the newest KeepIntervals*Interval timestamps so
 // briefly-lagging editors can still retrieve the patches OT needs.

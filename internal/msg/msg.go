@@ -222,6 +222,10 @@ const (
 	// ValidateNotMaster: the callee is not (or no longer) the Master-key
 	// peer for the key; the caller must re-run lookup.
 	ValidateNotMaster
+	// ValidateBusy: the master's per-key admission queue is full (hot-key
+	// protection). The caller should back off for RetryAfterMS and retry;
+	// no state changed on the master.
+	ValidateBusy
 )
 
 func (s ValidateStatus) String() string {
@@ -232,6 +236,8 @@ func (s ValidateStatus) String() string {
 		return "behind"
 	case ValidateNotMaster:
 		return "not-master"
+	case ValidateBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -260,6 +266,10 @@ type ValidateResp struct {
 	// key (0 = none). Piggybacking it on every validation ack lets user
 	// peers learn of newer checkpoints for free.
 	CkptTS uint64
+	// RetryAfterMS is the backoff hint accompanying ValidateBusy: the
+	// suggested wait (milliseconds) before retrying, scaled to how far
+	// over the admission limit the master's queue currently is.
+	RetryAfterMS uint64
 }
 
 // LastTSReq implements last_ts(key).
@@ -278,6 +288,11 @@ type LastTSResp struct {
 	// a puller whose committed prefix is older bootstraps from the
 	// checkpoint plus the log tail instead of replaying from 1.
 	CkptTS uint64
+	// HadEntry reports whether the callee already held a timestamp entry
+	// for the key before this call (the handler creates one as a side
+	// effect). The maintenance discovery pass uses it to tell a genuine
+	// entry-chain resurrection from a probe of a healthy key.
+	HadEntry bool
 }
 
 // ReplicateTSReq is sent by the Master-key to its Master-Succ after each
