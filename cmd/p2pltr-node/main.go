@@ -20,14 +20,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"p2pltr/internal/chord"
 	"p2pltr/internal/core"
+	"p2pltr/internal/gateway"
 	"p2pltr/internal/maintain"
+	"p2pltr/internal/trace"
 	"p2pltr/internal/transport"
 )
 
@@ -43,6 +47,7 @@ func main() {
 		doMaint   = flag.Bool("maintain", false, "run the self-healing maintenance engine for mastered keys")
 		truncGap  = flag.Duration("truncate-every", maintain.DefaultTruncateEvery, "minimum spacing between automatic log truncations per key (with -maintain)")
 		admission = flag.Int("admission-limit", 0, "max validators queued per hot key before shedding with retry-after (0 = unlimited)")
+		metrics   = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text) and /trace (recent commit-pipeline spans); empty = off")
 	)
 	flag.Parse()
 
@@ -51,6 +56,11 @@ func main() {
 		fatal(err)
 	}
 	opts := core.Options{Chord: chord.DefaultConfig(), CheckpointInterval: *ckptEvery, AdmissionLimit: *admission}
+	var tracer *trace.Tracer
+	if *metrics != "" {
+		tracer = trace.New(nil, 512) // system clock
+		opts.Tracer = tracer
+	}
 	if *doMaint {
 		if *ckptEvery == 0 {
 			fmt.Fprintln(os.Stderr, "warning: -maintain without -checkpoint-interval: fallback checkpoint production is disabled; the engine only repairs and truncates checkpoints other nodes produce")
@@ -71,6 +81,42 @@ func main() {
 			fatal(fmt.Errorf("join %s: %w", *join, err))
 		}
 		fmt.Printf("joined ring via %s\n", *join)
+	}
+
+	if *metrics != "" {
+		// Mount a gateway so the serving-layer counters (batching, route
+		// cache, follower feeds) are live on this node too; it installs
+		// itself as the peer's route cache, so the scripted -edits
+		// replica below also benefits from memoized master routes.
+		gw := gateway.New(peer, gateway.Config{})
+		defer gw.Close()
+		reg := peer.MetricsRegistry()
+		gw.RegisterMetrics(reg)
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			n := 32
+			if s := r.URL.Query().Get("n"); s != "" {
+				if v, err := strconv.Atoi(s); err == nil && v > 0 {
+					n = v
+				}
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "recent spans (newest first, %d ended total):\n", tracer.Ended())
+			tracer.WriteRecent(w, n)
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, "per-stage latency summary:")
+			tracer.StageSummary(w)
+		})
+		go func() {
+			fmt.Printf("metrics on http://%s/metrics, traces on http://%s/trace\n", *metrics, *metrics)
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -105,11 +151,17 @@ func main() {
 					fmt.Println("[edit] insert:", err)
 					return
 				}
-				ts, err := r.Commit(ctx)
+				// With -metrics-addr the commit is traced end to end (a
+				// nil tracer makes the span a no-op).
+				sp := tracer.Start("commit", *doc)
+				ts, err := r.Commit(trace.NewContext(ctx, sp))
 				if err != nil {
+					sp.EndErr(err)
 					fmt.Println("[edit] commit:", err)
 					return
 				}
+				sp.Mark("ack")
+				sp.End()
 				fmt.Printf("[edit] committed patch %d at ts=%d\n", i+1, ts)
 				time.Sleep(time.Second)
 			}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"p2pltr/internal/ids"
+	"p2pltr/internal/metrics"
 	"p2pltr/internal/msg"
 	"p2pltr/internal/transport"
 	"p2pltr/internal/vclock"
@@ -197,6 +198,15 @@ type Node struct {
 	// contends with routing state.
 	evictObsMu sync.Mutex
 	evictObs   []func(dead msg.NodeRef)
+
+	// counters is the exportable routing metric family; the members below
+	// are cached at construction so hot paths skip the family map lookup.
+	counters        *metrics.Family
+	cLookups        *metrics.Counter
+	cLookupHops     *metrics.Counter
+	cLookupFailures *metrics.Counter
+	cStrikes        *metrics.Counter
+	cEvictions      *metrics.Counter
 }
 
 // AddEvictObserver registers fn to observe every routing-state eviction
@@ -228,15 +238,25 @@ func NewNodeWithID(ep transport.Endpoint, id ids.ID, cfg Config) *Node {
 		cfg.Clock = clk
 	}
 	n := &Node{
-		cfg:   cfg,
-		ep:    ep,
-		id:    id,
-		ref:   msg.NodeRef{ID: id, Addr: string(ep.Addr())},
-		clock: vclock.OrSystem(cfg.Clock),
+		cfg:      cfg,
+		ep:       ep,
+		id:       id,
+		ref:      msg.NodeRef{ID: id, Addr: string(ep.Addr())},
+		clock:    vclock.OrSystem(cfg.Clock),
+		counters: metrics.NewFamily(),
 	}
+	n.cLookups = n.counters.Counter("lookups")
+	n.cLookupHops = n.counters.Counter("lookup-hops")
+	n.cLookupFailures = n.counters.Counter("lookup-failures")
+	n.cStrikes = n.counters.Counter("suspicion-strikes")
+	n.cEvictions = n.counters.Counter("evictions")
 	ep.SetHandler(n.handle)
 	return n
 }
+
+// Counters returns the node's routing metric family: lookups,
+// lookup-hops, lookup-failures, suspicion-strikes, evictions.
+func (n *Node) Counters() *metrics.Family { return n.counters }
 
 // Attach mounts a service on the node. Must be called before Create/Join.
 func (n *Node) Attach(s Service) {

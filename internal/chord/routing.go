@@ -38,6 +38,8 @@ func (n *Node) FindSuccessor(ctx context.Context, key ids.ID) (msg.NodeRef, int,
 			n.lookupCount++
 			n.hopTotal += int64(hops)
 			n.statsMu.Unlock()
+			n.cLookups.Add(1)
+			n.cLookupHops.Add(int64(hops))
 			return ref, hops, nil
 		}
 		lastErr = err
@@ -45,6 +47,7 @@ func (n *Node) FindSuccessor(ctx context.Context, key ids.ID) (msg.NodeRef, int,
 			break
 		}
 	}
+	n.cLookupFailures.Add(1)
 	return msg.NodeRef{}, 0, lastErr
 }
 
@@ -243,6 +246,7 @@ func (n *Node) suspectFailureBudget(ref msg.NodeRef, budget int) bool {
 		window = p
 	}
 	now := n.clock.Now()
+	n.cStrikes.Add(1)
 	n.mu.Lock()
 	if n.suspects == nil {
 		n.suspects = make(map[string]suspicion)
@@ -278,6 +282,7 @@ func (n *Node) clearSuspicion(addr string) {
 // in the eviction history in case the suspicion was false.
 func (n *Node) evict(dead msg.NodeRef) {
 	n.evictions.Add(1)
+	n.cEvictions.Add(1)
 	if n.cfg.OnEvict != nil {
 		n.cfg.OnEvict(dead)
 	}

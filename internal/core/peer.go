@@ -22,9 +22,11 @@ import (
 	"p2pltr/internal/ids"
 	"p2pltr/internal/kts"
 	"p2pltr/internal/maintain"
+	"p2pltr/internal/metrics"
 	"p2pltr/internal/msg"
 	"p2pltr/internal/p2plog"
 	"p2pltr/internal/store"
+	"p2pltr/internal/trace"
 	"p2pltr/internal/transport"
 	"p2pltr/internal/vclock"
 )
@@ -75,6 +77,11 @@ type Options struct {
 	// key's serialization mutex at this peer's KTS master (hot-key
 	// admission; see kts.Service.SetAdmissionLimit). 0 = unlimited.
 	AdmissionLimit int
+	// Tracer threads the commit-pipeline span tracer through this peer:
+	// replicas mark route/rpc/backoff/retrieve/checkpoint stages on the
+	// commit spans they carry, and the KTS master records a validation
+	// span per request. nil = tracing off (zero overhead).
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -149,6 +156,9 @@ func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 	p.KTS = kts.NewService(node, p.Log)
 	p.KTS.SetClock(opts.Clock)
 	p.KTS.SetCheckpointStore(p.Ckpt)
+	if opts.Tracer != nil {
+		p.KTS.SetTracer(opts.Tracer)
+	}
 	if opts.AdmissionLimit > 0 {
 		p.KTS.SetAdmissionLimit(opts.AdmissionLimit)
 	}
@@ -250,6 +260,38 @@ func (p *Peer) discoverKeys() []string {
 // CheckpointInterval returns the configured checkpoint period (0 when
 // this peer does not produce checkpoints).
 func (p *Peer) CheckpointInterval() uint64 { return p.opts.CheckpointInterval }
+
+// Tracer returns the commit-pipeline span tracer wired at construction
+// (nil when tracing is off — the nil tracer is a valid no-op).
+func (p *Peer) Tracer() *trace.Tracer { return p.opts.Tracer }
+
+// MetricsRegistry builds the peer's unified metric registry: chord
+// routing counters, DHT storage and client counters, KTS grant/reject
+// counters and the live admission queue depth, the maintenance engine's
+// pass counters when mounted, and the tracer's per-stage latency
+// aggregates when tracing is on. Layered subsystems (the serving
+// gateway) register their own families on the returned registry.
+func (p *Peer) MetricsRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.AddFamily("p2pltr_chord", p.Node.Counters())
+	reg.AddFamily("p2pltr_dht", p.DHT.Counters())
+	reg.AddFamily("p2pltr_dht_client", p.Client.Counters())
+	k := p.KTS
+	reg.AddCounterFunc("p2pltr_kts_grants", func() int64 { g, _, _ := k.Stats(); return g })
+	reg.AddCounterFunc("p2pltr_kts_rejects", func() int64 { _, r, _ := k.Stats(); return r })
+	reg.AddCounterFunc("p2pltr_kts_takeovers", func() int64 { _, _, t := k.Stats(); return t })
+	reg.AddCounterFunc("p2pltr_kts_fast_rejects", func() int64 { f, _ := k.AdmissionStats(); return f })
+	reg.AddCounterFunc("p2pltr_kts_busy_rejects", func() int64 { _, b := k.AdmissionStats(); return b })
+	reg.AddCounterFunc("p2pltr_kts_last_ts_calls", k.LastTSCalls)
+	reg.AddGaugeFunc("p2pltr_kts_admission_queue_depth", k.AdmissionQueueDepth)
+	if p.Maint != nil {
+		reg.AddFamily("p2pltr_maintain", p.Maint.Counters())
+	}
+	if tr := p.opts.Tracer; tr != nil {
+		reg.AddHistogramSet("p2pltr_trace", tr.StageHistograms)
+	}
+	return reg
+}
 
 // Clock returns the clock the peer's timers and backoffs run on.
 func (p *Peer) Clock() vclock.Clock { return p.clock }

@@ -13,6 +13,7 @@ import (
 	"p2pltr/internal/ot"
 	"p2pltr/internal/p2plog"
 	"p2pltr/internal/patch"
+	"p2pltr/internal/trace"
 	"p2pltr/internal/transport"
 	"p2pltr/internal/wal"
 )
@@ -59,6 +60,9 @@ type Replica struct {
 	// stats
 	behindRounds int64
 	retrieved    int64
+	// busyHint is the largest admission retry-after hint the last Commit
+	// observed, pending consumption by the caller (see ConsumeBusyHint).
+	busyHint time.Duration
 	// checkpoint bookkeeping: the newest checkpoint timestamp learned
 	// from master acks, and counters for produced snapshots and
 	// checkpoint-based bootstraps.
@@ -131,6 +135,18 @@ func (r *Replica) Stats() (behindRounds, retrieved int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.behindRounds, r.retrieved
+}
+
+// ConsumeBusyHint returns the largest admission retry-after hint the last
+// Commit observed and resets it. A batching caller (the gateway editor)
+// uses it to stretch its next-batch cadence instead of hammering a shed
+// hot key at the regular tick.
+func (r *Replica) ConsumeBusyHint() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.busyHint
+	r.busyHint = 0
+	return d
 }
 
 // CheckpointStats returns how many checkpoints this replica produced and
@@ -264,6 +280,8 @@ func (r *Replica) Commit(ctx context.Context) (uint64, error) {
 		Ops:    append([]patch.Op(nil), r.tentative...),
 	}
 
+	sp := trace.FromContext(ctx)
+	r.busyHint = 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return r.committedTS, err
@@ -295,12 +313,16 @@ func (r *Replica) Commit(ctx context.Context) (uint64, error) {
 			if err := r.saveLocked(); err != nil {
 				return r.committedTS, fmt.Errorf("core: committed at ts %d but journaling failed: %w", r.committedTS, err)
 			}
+			sp.Mark("apply")
 			r.maybeCheckpointLocked(ctx, resp.ValidatedTS)
+			sp.Mark("checkpoint")
 			return r.committedTS, nil
 
 		case msg.ValidateBehind:
 			r.behindRounds++
+			gap := int64(resp.LastTS) - int64(r.committedTS)
 			own, err := r.integrateMissingLocked(ctx, resp.LastTS, p.ID)
+			sp.MarkN("retrieve", gap)
 			if err != nil {
 				return r.committedTS, err
 			}
@@ -331,14 +353,20 @@ func (r *Replica) Commit(ctx context.Context) (uint64, error) {
 
 		case msg.ValidateBusy:
 			// Hot-key admission shed this request before it touched any
-			// master state; honor the backoff hint and retry as-is.
+			// master state; honor the backoff hint and retry as-is. The
+			// hint is also kept for the caller (ConsumeBusyHint), so a
+			// batching editor can stretch its next-batch cadence too.
 			d := time.Duration(resp.RetryAfterMS) * time.Millisecond
 			if d <= 0 {
 				d = 25 * time.Millisecond
 			}
+			if d > r.busyHint {
+				r.busyHint = d
+			}
 			if err := r.peer.clock.Sleep(ctx, d); err != nil {
 				return r.committedTS, err
 			}
+			sp.Mark("busy-backoff")
 
 		default:
 			return r.committedTS, fmt.Errorf("core: unexpected validate status %v", resp.Status)
@@ -639,6 +667,7 @@ func rebaseOps(base *patch.Document, ops []patch.Op) []patch.Op {
 func (r *Replica) callMasterRaw(ctx context.Context, req msg.Message, notMaster func(msg.Message) bool) (msg.Message, error) {
 	tsID := ids.HashTS(r.key)
 	var lastErr error
+	sp := trace.FromContext(ctx)
 	rc := r.peer.routeCache()
 	if rc != nil {
 		// Route-cache fast path: a memoized master reference skips the
@@ -650,6 +679,8 @@ func (r *Replica) callMasterRaw(ctx context.Context, req msg.Message, notMaster 
 			resp, err := r.peer.Node.CallWithTimeout(ctx, transport.Addr(ref.Addr), req, r.peer.opts.MasterOpTimeout)
 			switch {
 			case err == nil && !notMaster(resp):
+				sp.MarkN("rpc", 1)
+				sp.Note("route-cached", 1)
 				return resp, nil
 			case err == nil:
 				rc.Drop(r.key)
@@ -671,8 +702,10 @@ func (r *Replica) callMasterRaw(ctx context.Context, req msg.Message, notMaster 
 			if err := r.peer.clock.Sleep(ctx, r.peer.opts.ClientBackoff); err != nil {
 				return nil, err
 			}
+			sp.Mark("backoff")
 		}
-		master, _, err := r.peer.Node.FindSuccessor(ctx, tsID)
+		master, hops, err := r.peer.Node.FindSuccessor(ctx, tsID)
+		sp.MarkN("route", int64(hops))
 		if err != nil {
 			lastErr = err
 			continue
@@ -681,6 +714,7 @@ func (r *Replica) callMasterRaw(ctx context.Context, req msg.Message, notMaster 
 		// so they get the application-level budget, not the chord
 		// CallTimeout (see Options.MasterOpTimeout).
 		resp, err := r.peer.Node.CallWithTimeout(ctx, transport.Addr(master.Addr), req, r.peer.opts.MasterOpTimeout)
+		sp.MarkN("rpc", 1)
 		if err != nil {
 			lastErr = err
 			if transport.IsUnavailable(err) {

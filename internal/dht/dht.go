@@ -18,6 +18,7 @@ import (
 
 	"p2pltr/internal/chord"
 	"p2pltr/internal/ids"
+	"p2pltr/internal/metrics"
 	"p2pltr/internal/msg"
 	"p2pltr/internal/store"
 	"p2pltr/internal/transport"
@@ -58,13 +59,40 @@ type Service struct {
 	floorChecked map[string]bool
 	// noSuccCopies disables the Log-Peers-Succ mechanism (ablation A1).
 	noSuccCopies bool
+
+	// counters is the exportable storage metric family; members are
+	// cached so RPC hot paths skip the family map lookup.
+	counters      *metrics.Family
+	cPuts         *metrics.Counter
+	cReplicaPuts  *metrics.Counter
+	cGets         *metrics.Counter
+	cGetMisses    *metrics.Counter
+	cDeletes      *metrics.Counter
+	cPromotions   *metrics.Counter
+	cFloorSweeps  *metrics.Counter
+	cFloorDerived *metrics.Counter
 }
 
 // NewService returns an empty DHT storage service.
 func NewService() *Service {
-	return &Service{st: store.New(), rep: store.New(), clock: vclock.System,
-		floors: make(map[string]uint64), floorChecked: make(map[string]bool)}
+	s := &Service{st: store.New(), rep: store.New(), clock: vclock.System,
+		floors: make(map[string]uint64), floorChecked: make(map[string]bool),
+		counters: metrics.NewFamily()}
+	s.cPuts = s.counters.Counter("puts")
+	s.cReplicaPuts = s.counters.Counter("replica-puts")
+	s.cGets = s.counters.Counter("gets")
+	s.cGetMisses = s.counters.Counter("get-misses")
+	s.cDeletes = s.counters.Counter("deletes")
+	s.cPromotions = s.counters.Counter("promotions")
+	s.cFloorSweeps = s.counters.Counter("floor-swept-slots")
+	s.cFloorDerived = s.counters.Counter("floors-derived")
+	return s
 }
+
+// Counters returns the service's storage metric family: puts,
+// replica-puts, gets, get-misses, deletes, promotions,
+// floor-swept-slots, floors-derived.
+func (s *Service) Counters() *metrics.Family { return s.counters }
 
 // SetClock routes the service's asynchronous successor-copy pushes (their
 // goroutines and timeouts) through c. Virtual-time simulations need it so
@@ -164,8 +192,11 @@ func (s *Service) noteFloor(f msg.TruncFloor, sweepPrimary bool) (sweptPrimary i
 		// cloning every value per floor advance would be O(store bytes).
 		for _, e := range st.SnapshotMeta() {
 			if key, ts, ok := ids.ParseLogSlotName(e.Key); ok && key == f.Key && ts <= f.TS {
-				if st.Delete(e.ID) && st == s.st {
-					sweptPrimary++
+				if st.Delete(e.ID) {
+					s.cFloorSweeps.Add(1)
+					if st == s.st {
+						sweptPrimary++
+					}
 				}
 			}
 		}
@@ -219,6 +250,7 @@ func (s *Service) ReplicaStore() *store.Store { return s.rep }
 func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, bool, error) {
 	switch r := req.(type) {
 	case *msg.DHTPutReq:
+		s.cPuts.Add(1)
 		if s.belowFloor(r.Key) {
 			// A read-repair or late republish racing the truncation sweep:
 			// the slot's prefix is reclaimed under a fully-replicated
@@ -239,6 +271,7 @@ func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Me
 		}
 		return resp, true, nil
 	case *msg.DHTReplicaPutReq:
+		s.cReplicaPuts.Add(int64(len(r.Items)))
 		for _, f := range r.Floors {
 			s.noteFloor(f, false)
 		}
@@ -253,6 +286,7 @@ func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Me
 		// Delete before raising the floor: the floor sweep would reclaim
 		// this very slot and the response could no longer say whether it
 		// existed. The sweep's other removals ride back in Swept.
+		s.cDeletes.Add(1)
 		deleted := s.st.Delete(r.ID)
 		// Drop any successor copy of the slot too, or the Maintain
 		// promotion path could resurrect it after an owner crash.
@@ -267,6 +301,7 @@ func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Me
 		}
 		return &msg.Ack{}, true, nil
 	case *msg.DHTGetReq:
+		s.cGets.Add(1)
 		if e, ok := s.st.GetEntry(r.ID); ok {
 			if s.belowFloor(e.Key) {
 				// A primary that slipped below an out-of-band floor (the
@@ -290,11 +325,13 @@ func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Me
 				return &msg.DHTGetResp{}, true, nil
 			}
 			if rng := s.ring(); rng != nil && rng.Owns(r.ID) {
+				s.cPromotions.Add(1)
 				s.st.Put(r.ID, e.Key, e.Value)
 				s.replicateToSucc([]msg.StateItem{{Service: ServiceName, Key: e.Key, ID: r.ID, Value: e.Value}})
 			}
 			return &msg.DHTGetResp{Found: true, Value: e.Value}, true, nil
 		}
+		s.cGetMisses.Add(1)
 		return &msg.DHTGetResp{}, true, nil
 	}
 	return nil, false, nil
@@ -364,6 +401,7 @@ func (s *Service) Maintain(ctx context.Context) {
 		}
 		if rng.Owns(e.ID) {
 			if _, ok := s.st.Get(e.ID); !ok {
+				s.cPromotions.Add(1)
 				s.st.Put(e.ID, e.Key, e.Value)
 			}
 			s.rep.Delete(e.ID)
@@ -445,6 +483,7 @@ func (s *Service) deriveFloors(ctx context.Context) {
 		s.floorChecked[key] = true
 		s.mu.Unlock()
 		if ts > 0 {
+			s.cFloorDerived.Add(1)
 			s.noteFloor(msg.TruncFloor{Key: key, TS: ts}, false)
 		}
 	}
@@ -503,6 +542,11 @@ type Client struct {
 	attempts int
 	backoff  time.Duration
 	clock    vclock.Clock
+
+	counters  *metrics.Family
+	cCalls    *metrics.Counter
+	cRetries  *metrics.Counter
+	cFailures *metrics.Counter
 }
 
 // NewClient returns a client bound to the local ring view. attempts
@@ -511,8 +555,18 @@ func NewClient(ring chord.Ring, attempts int, backoff time.Duration) *Client {
 	if attempts < 1 {
 		attempts = 1
 	}
-	return &Client{ring: ring, attempts: attempts, backoff: backoff, clock: vclock.System}
+	c := &Client{ring: ring, attempts: attempts, backoff: backoff, clock: vclock.System,
+		counters: metrics.NewFamily()}
+	c.cCalls = c.counters.Counter("calls")
+	c.cRetries = c.counters.Counter("retries")
+	c.cFailures = c.counters.Counter("failures")
+	return c
 }
+
+// Counters returns the client's routing metric family: calls (one per
+// operation), retries (extra attempts after a failed lookup or call),
+// failures (operations exhausting every attempt).
+func (c *Client) Counters() *metrics.Family { return c.counters }
 
 // SetClock makes retry backoffs wait on c instead of the wall clock. It
 // is wiring-time configuration: call it before the client serves any
@@ -523,11 +577,15 @@ func (c *Client) SetClock(clk vclock.Clock) { c.clock = vclock.OrSystem(clk) }
 // call resolves successor(id) and invokes req on it, retrying on
 // unavailability.
 func (c *Client) call(ctx context.Context, id ids.ID, req msg.Message) (msg.Message, error) {
+	c.cCalls.Add(1)
 	var lastErr error
 	for a := 0; a < c.attempts; a++ {
-		if a > 0 && c.backoff > 0 {
-			if err := c.clock.Sleep(ctx, c.backoff); err != nil {
-				return nil, err
+		if a > 0 {
+			c.cRetries.Add(1)
+			if c.backoff > 0 {
+				if err := c.clock.Sleep(ctx, c.backoff); err != nil {
+					return nil, err
+				}
 			}
 		}
 		owner, _, err := c.ring.FindSuccessor(ctx, id)
@@ -545,6 +603,7 @@ func (c *Client) call(ctx context.Context, id ids.ID, req msg.Message) (msg.Mess
 		}
 		return resp, nil
 	}
+	c.cFailures.Add(1)
 	return nil, fmt.Errorf("%w: %v", ErrNoOwner, lastErr)
 }
 

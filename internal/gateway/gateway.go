@@ -45,6 +45,7 @@ import (
 	"p2pltr/internal/msg"
 	"p2pltr/internal/p2plog"
 	"p2pltr/internal/patch"
+	"p2pltr/internal/trace"
 	"p2pltr/internal/vclock"
 )
 
@@ -103,6 +104,10 @@ type Gateway struct {
 	closed   bool
 
 	counters *metrics.Family
+	// batchSizes records acked ops per batched commit; feedGap records
+	// the time between consecutive snapshot publishes of a feed.
+	batchSizes *metrics.Histogram
+	feedGap    *metrics.Histogram
 }
 
 // New mounts a gateway on peer: it installs itself as the peer's route
@@ -122,6 +127,12 @@ func New(peer *core.Peer, cfg Config) *Gateway {
 		routes:   make(map[string]msg.NodeRef),
 		ptrTS:    make(map[string]uint64),
 		counters: metrics.NewFamily(),
+		batchSizes: metrics.NewValueHistogram(
+			1, 2, 4, 8, 16, 32, 64, 128),
+		feedGap: metrics.NewBucketedHistogram(
+			50*time.Millisecond, 100*time.Millisecond, 250*time.Millisecond,
+			500*time.Millisecond, time.Second, 2*time.Second, 5*time.Second,
+			10*time.Second, 30*time.Second),
 	}
 	peer.SetRouteCache(g)
 	peer.Node.AddEvictObserver(g.invalidateAddr)
@@ -136,6 +147,20 @@ func (g *Gateway) Peer() *core.Peer { return g.peer }
 // follower-bootstraps, route-hits, route-misses, route-invalidations,
 // ptr-cache-hits, ptr-cache-misses.
 func (g *Gateway) Counters() *metrics.Family { return g.counters }
+
+// BatchSizes exposes the acked-ops-per-commit histogram.
+func (g *Gateway) BatchSizes() *metrics.Histogram { return g.batchSizes }
+
+// FeedGap exposes the gap-between-snapshot-publishes histogram.
+func (g *Gateway) FeedGap() *metrics.Histogram { return g.feedGap }
+
+// RegisterMetrics exports the gateway's counters and histograms into reg
+// under the p2pltr_gateway prefix.
+func (g *Gateway) RegisterMetrics(reg *metrics.Registry) {
+	reg.AddFamily("p2pltr_gateway", g.counters)
+	reg.AddHistogram("p2pltr_gateway_batch_size", g.batchSizes)
+	reg.AddHistogram("p2pltr_gateway_feed_publish_gap_seconds", g.feedGap)
+}
 
 // Close stops every editor and feed goroutine and uninstalls the route
 // cache. Idempotent.
@@ -307,8 +332,12 @@ func (e *Editor) Replica() *core.Replica { return e.rep }
 
 func (e *Editor) run() {
 	g := e.g
-	t := g.clk.NewTicker(g.cfg.BatchTick)
-	defer t.Stop()
+	tr := g.peer.Tracer()
+	// The cadence is a sleep loop rather than a fixed ticker so the
+	// editor can honor the master's admission retry-after hint: when a
+	// commit was shed off a hot key, the next batch waits out the hint
+	// instead of rejoining the convoy at the regular tick.
+	wait := g.cfg.BatchTick
 	// Lines drained from the queue but not yet acked (a failed commit
 	// leaves them as tentative ops on the replica): the next tick
 	// retries them even when nothing new was enqueued, and they count
@@ -318,9 +347,10 @@ func (e *Editor) run() {
 		retryStart time.Time
 	)
 	for {
-		if err := t.Wait(g.ctx); err != nil {
+		if err := g.clk.Sleep(g.ctx, wait); err != nil {
 			return
 		}
+		wait = g.cfg.BatchTick
 		e.mu.Lock()
 		lines := e.pending
 		start := e.oldest
@@ -336,8 +366,18 @@ func (e *Editor) run() {
 		for _, line := range lines {
 			_ = e.rep.Insert(0, line)
 		}
-		ts, err := e.rep.Commit(g.ctx)
+		// The span starts at the oldest enqueue so queue-wait — the time
+		// a line sat buffered before its batch tick — is a visible stage.
+		sp := tr.StartAt("commit", e.doc, start)
+		sp.MarkN("queue-wait", int64(len(lines)))
+		ts, err := e.rep.Commit(trace.NewContext(g.ctx, sp))
+		if hint := e.rep.ConsumeBusyHint(); hint > wait {
+			wait = hint
+			g.counters.Counter("busy-deferrals").Add(1)
+			sp.Note("busy-deferred", int64(hint/time.Millisecond))
+		}
 		if err != nil {
+			sp.EndErr(err)
 			if g.ctx.Err() != nil {
 				return
 			}
@@ -349,6 +389,8 @@ func (e *Editor) run() {
 			g.counters.Counter("commit-errors").Add(1)
 			continue
 		}
+		sp.Mark("ack")
+		sp.End()
 		lat := g.clk.Since(start)
 		e.mu.Lock()
 		e.err = nil
@@ -356,6 +398,7 @@ func (e *Editor) run() {
 		e.mu.Unlock()
 		g.counters.Counter("commits").Add(1)
 		g.counters.Counter("batched-ops").Add(int64(len(lines) + uncounted))
+		g.batchSizes.ObserveValue(int64(len(lines) + uncounted))
 		uncounted, retryStart = 0, time.Time{}
 		if g.cfg.OnCommit != nil {
 			g.cfg.OnCommit(e.doc, ts, lat)
@@ -382,6 +425,9 @@ type feed struct {
 	lines   []string
 	ts      uint64
 	hintTS  uint64 // newest committed ts learned from local editor acks
+
+	// lastPub is touched only by the feed goroutine.
+	lastPub time.Time
 }
 
 func (g *Gateway) feedFor(key string) *feed {
@@ -416,6 +462,11 @@ func (f *feed) hintAhead(cur uint64) bool {
 }
 
 func (f *feed) publish(doc *patch.Document, ts uint64) {
+	now := f.g.clk.Now()
+	if !f.lastPub.IsZero() {
+		f.g.feedGap.Observe(now.Sub(f.lastPub))
+	}
+	f.lastPub = now
 	lines := doc.Lines()
 	f.stateMu.Lock()
 	f.lines = lines
@@ -436,6 +487,7 @@ func (f *feed) publish(doc *patch.Document, ts uint64) {
 // patches apply verbatim in total order.
 func (f *feed) run() {
 	g := f.g
+	tr := g.peer.Tracer()
 	doc := patch.NewDocument("")
 	var ts uint64
 	booted := false
@@ -444,6 +496,7 @@ func (f *feed) run() {
 		if err := g.clk.Sleep(g.ctx, interval); err != nil {
 			return
 		}
+		cycleStart := g.clk.Now()
 		if !booted {
 			if d2, t2, ok := f.bootstrap(ts); ok {
 				doc, ts = d2, t2
@@ -490,7 +543,13 @@ func (f *feed) run() {
 			progressed++
 		}
 		if progressed > 0 {
+			// Idle probe cycles produce no span: the deliver span exists
+			// only when the cycle advanced the snapshot.
+			sp := tr.StartAt("deliver", f.key, cycleStart)
+			sp.MarkN("feed-fetch", int64(progressed))
 			f.publish(doc, ts)
+			sp.Mark("feed-publish")
+			sp.End()
 		}
 		if progressed > 0 || f.hintAhead(ts) {
 			interval = g.cfg.BatchTick

@@ -10,6 +10,7 @@ import (
 	"p2pltr/internal/gateway"
 	"p2pltr/internal/ids"
 	"p2pltr/internal/ringtest"
+	"p2pltr/internal/transport"
 	"p2pltr/internal/vclock"
 )
 
@@ -157,6 +158,61 @@ func TestFollowerReadsBypassKTS(t *testing.T) {
 	g1, l1 := ktsCalls()
 	if g1 != g0 || l1 != l0 {
 		t.Fatalf("follower path touched the KTS: grants %d -> %d, last_ts calls %d -> %d", g0, g1, l0, l1)
+	}
+}
+
+// TestBusyHintDefersBatchCadence pins the convoy-smoothing behavior: a
+// batch tick shorter than the admission retry-after hint plus a
+// single-slot admission limit forces hot-key sheds, and the editors
+// must stretch their next-batch cadence by the hint (busy-deferrals)
+// instead of rejoining the convoy at the regular tick.
+func TestBusyHintDefersBatchCadence(t *testing.T) {
+	opts := ringtest.FastOptions()
+	opts.AdmissionLimit = 1
+	// Real network latency so validations on the hot key overlap — with
+	// instant RPCs they would serialize and the single slot never fills.
+	c, clk := ringtest.NewVirtualCluster(8, opts,
+		transport.WithLatency(transport.NewLogNormalLatency(25*time.Millisecond, 0.5, 7)))
+	t.Cleanup(func() {
+		c.Stop()
+		clk.Unregister()
+	})
+	ctx := context.Background()
+
+	// 10ms tick < the 25ms minimum retry-after hint, so every busy shed
+	// must defer the following batch.
+	gw := gateway.New(c.Peers[0], gateway.Config{BatchTick: 10 * time.Millisecond, ProbeIdle: 500 * time.Millisecond})
+	t.Cleanup(gw.Close)
+
+	const editors, rounds = 4, 20
+	eds := make([]*gateway.Editor, editors)
+	for i := range eds {
+		eds[i] = gw.Session(fmt.Sprintf("s%d", i)).Editor("hotdoc", fmt.Sprintf("site-%d", i))
+	}
+	lines := 0
+	for r := 0; r < rounds; r++ {
+		for i, ed := range eds {
+			ed.Enqueue(fmt.Sprintf("l-%d-%d", i, r))
+			lines++
+		}
+		_ = clk.Sleep(ctx, 10*time.Millisecond)
+	}
+	waitUntil(t, clk, 120*time.Second, "convoy workload to drain", func() bool {
+		return gw.Counters().Counter("batched-ops").Value() == int64(lines)
+	})
+
+	var busy int64
+	for _, p := range c.Peers {
+		_, b := p.KTS.AdmissionStats()
+		busy += b
+	}
+	if busy == 0 {
+		t.Fatal("admission never shed a validator; the deferral path was not exercised")
+	}
+	if n := gw.Counters().Counter("busy-deferrals").Value(); n == 0 {
+		t.Fatalf("editors never deferred their cadence despite %d busy sheds", busy)
+	} else {
+		t.Logf("%d busy sheds, %d deferred batches", busy, n)
 	}
 }
 

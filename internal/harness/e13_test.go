@@ -79,6 +79,20 @@ func TestE13Deterministic(t *testing.T) {
 	if a.Sent != b.Sent || a.Virtual != b.Virtual {
 		t.Fatalf("message/clock totals diverged: sent %d vs %d, virtual %v vs %v", a.Sent, b.Sent, a.Virtual, b.Virtual)
 	}
+	// Tracing is ON in these runs (runE13 always mounts a shared
+	// tracer): span counts, the order-sensitive span digest, and the
+	// derived stage breakdown must all replay bitwise-identically.
+	if a.TraceSpans != b.TraceSpans || a.TraceDigest != b.TraceDigest {
+		t.Fatalf("trace streams diverged: %d spans digest %016x vs %d spans digest %016x",
+			a.TraceSpans, a.TraceDigest, b.TraceSpans, b.TraceDigest)
+	}
+	if !reflect.DeepEqual(a.Breakdown, b.Breakdown) || a.CommitSpanTime != b.CommitSpanTime ||
+		a.CommitSpanP50 != b.CommitSpanP50 || a.CommitSpanP99 != b.CommitSpanP99 {
+		t.Fatalf("stage breakdowns diverged:\n%+v\nvs\n%+v", a.Breakdown, b.Breakdown)
+	}
+	if a.TraceSpans == 0 {
+		t.Fatal("tracer recorded no spans; determinism-under-tracing claim is vacuous")
+	}
 	// A different seed must actually change the run — otherwise the
 	// comparisons above prove nothing.
 	c := run(seed + 1)

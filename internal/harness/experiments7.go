@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"p2pltr/internal/core"
 	"p2pltr/internal/gateway"
 	"p2pltr/internal/metrics"
+	"p2pltr/internal/trace"
 	"p2pltr/internal/transport"
 	"p2pltr/internal/vclock"
 )
@@ -64,6 +66,20 @@ type e13DocReport struct {
 	StaleP99  time.Duration
 }
 
+// e13Stage is one row of the commit-span latency breakdown: how much of
+// the enqueue-to-ack pipeline one stage accounts for. Sum over all rows
+// equals the total commit-span time EXACTLY — trace spans partition
+// their duration into mark segments by construction.
+type e13Stage struct {
+	Stage string
+	Count int64
+	Sum   time.Duration
+	Share float64 // Sum / total commit-span time
+	P50   time.Duration
+	P99   time.Duration
+	Mean  time.Duration
+}
+
 // e13Result is everything one E13 run measured. Wall is the only
 // nondeterministic field; TestE13Deterministic compares the rest.
 type e13Result struct {
@@ -80,9 +96,17 @@ type e13Result struct {
 	LastTSCalls int64            // must stay 0: followers bypass the KTS
 	Sent        int64
 	Dropped     int64
-	WorkloadEnd time.Duration
-	Virtual     time.Duration
-	Wall        time.Duration
+	// Commit-span tracing: the per-stage latency breakdown plus the
+	// digest/count that pin span ordering in the determinism test.
+	Breakdown      []e13Stage
+	CommitSpanTime time.Duration // Σ commit-span totals (== Σ Breakdown sums)
+	CommitSpanP50  time.Duration
+	CommitSpanP99  time.Duration
+	TraceSpans     int64
+	TraceDigest    uint64
+	WorkloadEnd    time.Duration
+	Virtual        time.Duration
+	Wall           time.Duration
 }
 
 // runE13 executes one gateway-serving run: hotEditors sessions all edit
@@ -106,7 +130,13 @@ func runE13(seed int64, peers, docs, hotEditors, tailEditors, edits, viewersPerE
 		transport.WithClock(clk),
 		transport.WithLatency(transport.NewLogNormalLatency(latencyMedian, latencySigma, seed+1)),
 	)
+	// One tracer shared by every peer and gateway: commit spans from the
+	// editors, validate spans from the KTS masters, deliver spans from
+	// the feeds, all on the virtual clock. Tracing MUST NOT perturb the
+	// schedule — the determinism test runs with it enabled.
+	tr := trace.New(clk, 2048)
 	opts := core.Options{
+		Tracer: tr,
 		Chord: chord.Config{
 			SuccListLen:     8,
 			StabilizeEvery:  500 * time.Millisecond,
@@ -148,6 +178,35 @@ func runE13(seed int64, peers, docs, hotEditors, tailEditors, edits, viewersPerE
 	// are scheduler-serialized so the append order is reproducible.
 	var mu sync.Mutex
 	commitAt := map[string]map[uint64]time.Duration{}
+	// The trace sink runs synchronously on each span's ending goroutine,
+	// so the digest fold order is scheduler-deterministic. Commit spans
+	// feed the per-stage breakdown; every span feeds the digest.
+	stageSum := map[string]time.Duration{}
+	stageCount := map[string]int64{}
+	stageH := map[string]*metrics.Histogram{}
+	commitSpanH := metrics.NewHistogram()
+	res.TraceDigest = trace.HashSeed()
+	tr.SetSink(func(d trace.SpanData) {
+		mu.Lock()
+		res.TraceDigest = d.Hash(res.TraceDigest)
+		res.TraceSpans++
+		if d.Kind == "commit" {
+			for _, ev := range d.Events {
+				if ev.Note {
+					continue
+				}
+				stageSum[ev.Stage] += ev.Dur
+				stageCount[ev.Stage]++
+				if stageH[ev.Stage] == nil {
+					stageH[ev.Stage] = metrics.NewHistogram()
+				}
+				stageH[ev.Stage].Observe(ev.Dur)
+			}
+			commitSpanH.Observe(d.Total())
+			res.CommitSpanTime += d.Total()
+		}
+		mu.Unlock()
+	})
 	gcfg := gateway.Config{
 		BatchTick: batchTick,
 		ProbeIdle: probeIdle,
@@ -393,6 +452,29 @@ func runE13(seed int64, peers, docs, hotEditors, tailEditors, edits, viewersPerE
 		res.BusyRejects += b
 		res.LastTSCalls += p.KTS.LastTSCalls()
 	}
+	// Commit-span stage breakdown, sorted by stage name for a stable
+	// table (and a stable DeepEqual in the determinism test).
+	mu.Lock()
+	stages := make([]string, 0, len(stageSum))
+	for s := range stageSum {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		h := stageH[s]
+		row := e13Stage{
+			Stage: s, Count: stageCount[s], Sum: stageSum[s],
+			P50: h.Quantile(0.5), P99: h.Quantile(0.99), Mean: h.Mean(),
+		}
+		if res.CommitSpanTime > 0 {
+			row.Share = float64(row.Sum) / float64(res.CommitSpanTime)
+		}
+		res.Breakdown = append(res.Breakdown, row)
+	}
+	res.CommitSpanP50 = commitSpanH.Quantile(0.5)
+	res.CommitSpanP99 = commitSpanH.Quantile(0.99)
+	mu.Unlock()
+
 	res.Sent, res.Dropped = net.Stats()
 	res.Virtual = clk.Since(epoch)
 	res.Wall = time.Since(wallStart)
@@ -419,6 +501,14 @@ func RunE13(cfg Config) error {
 		tbl.AddRow(r.Doc, r.Editors, r.Viewers, r.FinalTS, r.Commits, r.CommitP50, r.CommitP99, r.StaleP50, r.StaleP99)
 	}
 	fmt.Fprint(cfg.Out, tbl.String())
+	fmt.Fprintln(cfg.Out, "commit-span stage breakdown (enqueue -> ack, from the shared tracer):")
+	btbl := metrics.NewTable("stage", "count", "share", "p50", "p99", "mean")
+	for _, s := range res.Breakdown {
+		btbl.AddRow(s.Stage, s.Count, fmt.Sprintf("%.1f%%", 100*s.Share), s.P50, s.P99, s.Mean)
+	}
+	fmt.Fprint(cfg.Out, btbl.String())
+	fmt.Fprintf(cfg.Out, "commit spans: n=%d p50=%v p99=%v; traced spans total=%d digest=%016x\n",
+		res.Aggregate.Commits, res.CommitSpanP50, res.CommitSpanP99, res.TraceSpans, res.TraceDigest)
 	fmt.Fprintf(cfg.Out, "gateway counters: %v\n", res.Gateway)
 	sec := res.WorkloadEnd.Seconds()
 	fmt.Fprintf(cfg.Out, "peers=%d gateways=4+1 lines=%d commits=%d (%.2f commits/s, %.2f lines/s aggregate) admission: fast-rejects=%d busy-rejects=%d last_ts-calls=%d cold-bootstraps=%d messages=%d virtual=%s wall=%s speedup=%.0fx\n",
@@ -458,6 +548,28 @@ func RunE13(cfg Config) error {
 	// queued validators time out and retry-storm, and this collapses.
 	if bound := time.Duration(hotDoc.FinalTS) * 2 * time.Second; hotDoc.CommitP99 > bound {
 		return fmt.Errorf("E13: hot-doc p99 commit latency %v exceeds the admission bound %v (2s x %d commits)", hotDoc.CommitP99, bound, hotDoc.FinalTS)
+	}
+	// Tracing shape: the breakdown must exist and reconcile with the
+	// end-to-end commit spans. The sums reconcile EXACTLY — a span's
+	// mark segments partition its duration by construction — and the
+	// per-stage quantile sums must bracket the end-to-end quantiles
+	// within a loose band (quantiles are not additive, but a partition's
+	// stage-p99 sum that drifts far from the e2e p99 means the
+	// instrumentation is dropping or double-counting segments).
+	if res.TraceSpans == 0 || len(res.Breakdown) == 0 {
+		return fmt.Errorf("E13: tracing recorded no spans (spans=%d, stages=%d)", res.TraceSpans, len(res.Breakdown))
+	}
+	var stageTotal time.Duration
+	var sumP99 time.Duration
+	for _, s := range res.Breakdown {
+		stageTotal += s.Sum
+		sumP99 += s.P99
+	}
+	if stageTotal != res.CommitSpanTime {
+		return fmt.Errorf("E13: stage breakdown does not reconcile: stages sum to %v, commit spans total %v", stageTotal, res.CommitSpanTime)
+	}
+	if sumP99 < res.CommitSpanP99/2 || sumP99 > 10*res.CommitSpanP99 {
+		return fmt.Errorf("E13: stage p99 sum %v is out of band of the end-to-end p99 %v", sumP99, res.CommitSpanP99)
 	}
 	fmt.Fprintln(cfg.Out, "shape check: four gateways multiplex a Zipfian tenant mix — batching many lines per validation, fanning committed states out to ~100 viewers per editor without a single KTS call on the read path, bootstrapping a late cold gateway from the checkpoint pointer, and shedding the hot document's validator convoy via admission so its p99 commit latency stays bounded")
 	return nil

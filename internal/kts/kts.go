@@ -44,6 +44,7 @@ import (
 	"p2pltr/internal/ids"
 	"p2pltr/internal/msg"
 	"p2pltr/internal/p2plog"
+	"p2pltr/internal/trace"
 	"p2pltr/internal/transport"
 	"p2pltr/internal/vclock"
 )
@@ -116,6 +117,10 @@ type Service struct {
 	// see SetAdmissionLimit.
 	admission atomic.Int64
 
+	// tracer records per-validation spans when set (nil = tracing off;
+	// every span call is a no-op on nil).
+	tracer *trace.Tracer
+
 	// stats for the experiments
 	statsMu     sync.Mutex
 	grants      int64
@@ -145,6 +150,24 @@ func (s *Service) SetClock(c vclock.Clock) {
 // checkpoint announcements, maintains the per-key latest-checkpoint
 // pointer, and fast-forwards last-ts recovery across truncated history.
 func (s *Service) SetCheckpointStore(cs *checkpoint.Store) { s.ckpt = cs }
+
+// SetTracer wires the span tracer; each validation then records a
+// "validate" span with admission-wait/sync/publish/replicate stages and
+// fast-reject/busy-shed annotations. Wiring-time configuration.
+func (s *Service) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
+// AdmissionQueueDepth returns the instantaneous number of validators
+// admitted past the fast path and not yet finished, summed over keys —
+// the live depth the admission limit bounds per key.
+func (s *Service) AdmissionQueueDepth() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, e := range s.entries {
+		n += e.inflight.Load()
+	}
+	return n
+}
 
 // SetAdmissionLimit bounds how many validators may wait on any one key's
 // serialization mutex at once (hot-key admission). Requests beyond the
@@ -193,11 +216,13 @@ func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Me
 }
 
 // handleValidate is the patch timestamp validation procedure.
-func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.Message, error) {
+func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (resp msg.Message, err error) {
 	tsID := ids.HashTS(r.Key)
 	if !s.ring.Owns(tsID) {
 		return &msg.ValidateResp{Status: msg.ValidateNotMaster}, nil
 	}
+	sp := s.tracer.Start("validate", r.Key)
+	defer func() { sp.EndErr(err) }()
 	e := s.entryFor(r.Key)
 
 	// Batched-grant fast path: the lock-free lastTS mirror is a monotone
@@ -206,6 +231,7 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 	// parking on the per-key serialization.
 	if v := e.fastLastTS.Load(); r.TS < v {
 		s.bumpFastRejects()
+		sp.Note("fast-reject", 1)
 		return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: v, CkptTS: e.fastCkptTS.Load()}, nil
 	}
 
@@ -220,6 +246,7 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 			if retry > 500 {
 				retry = 500
 			}
+			sp.Note("busy-shed", int64(retry))
 			return &msg.ValidateResp{
 				Status: msg.ValidateBusy, LastTS: e.fastLastTS.Load(),
 				CkptTS: e.fastCkptTS.Load(), RetryAfterMS: retry,
@@ -232,6 +259,7 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 	// sequentially" — the per-key mutex is that serialization.
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	sp.Mark("admission-wait")
 
 	if !e.synced {
 		// First grant since this node became (or believes itself) master:
@@ -240,6 +268,7 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 		if err := s.syncFromLogLocked(ctx, r.Key, e); err != nil {
 			return nil, err
 		}
+		sp.Mark("sync")
 	}
 	if r.TS > e.lastTS {
 		// The client knows more than we do: we lost state (e.g. both the
@@ -248,9 +277,11 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 		if err := s.recoverFromLog(ctx, r.Key, e, r.TS); err != nil {
 			return nil, err
 		}
+		sp.Mark("sync")
 	}
 	if r.TS < e.lastTS {
 		s.bumpRejects()
+		sp.Note("behind", int64(e.lastTS-r.TS))
 		return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: e.lastTS, CkptTS: e.ckptTS}, nil
 	}
 
@@ -259,21 +290,23 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 
 	// sendToPublish: replicate the patch at the Log-Peers first. The log
 	// is the commit point; last-ts replicas are recoverable from it.
-	res, err := s.log.Publish(ctx, p2plog.Record{
+	res, perr := s.log.Publish(ctx, p2plog.Record{
 		Key: r.Key, TS: newTS, PatchID: r.PatchID, Patch: r.Patch,
 	})
-	if err != nil {
-		if errors.Is(err, p2plog.ErrConflict) {
+	sp.Mark("publish")
+	if perr != nil {
+		if errors.Is(perr, p2plog.ErrConflict) {
 			// A previous master incarnation already published this
 			// timestamp with a different patch. Converge on the log:
 			// fast-forward and tell the caller to retrieve.
 			e.lastTS = newTS
 			e.noteLocked()
 			s.replicateToSucc(ctx, r.Key, tsID, e)
+			sp.Mark("replicate")
 			s.bumpRejects()
 			return &msg.ValidateResp{Status: msg.ValidateBehind, LastTS: e.lastTS, CkptTS: e.ckptTS}, nil
 		}
-		return nil, fmt.Errorf("kts: publish (%s,%d): %w", r.Key, newTS, err)
+		return nil, fmt.Errorf("kts: publish (%s,%d): %w", r.Key, newTS, perr)
 	}
 	_ = res
 
@@ -283,6 +316,7 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (msg.M
 	e.synced = true
 	e.noteLocked()
 	s.replicateToSucc(ctx, r.Key, tsID, e)
+	sp.Mark("replicate")
 	s.bumpGrants()
 	return &msg.ValidateResp{Status: msg.ValidateOK, ValidatedTS: newTS, LastTS: newTS, CkptTS: e.ckptTS}, nil
 }

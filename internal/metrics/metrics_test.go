@@ -176,3 +176,159 @@ func TestFamily(t *testing.T) {
 		t.Fatalf("merged snapshot = %v", snap)
 	}
 }
+
+// Merge and Snapshot must hold up while writers hammer both families —
+// per-peer families are merged into cluster views mid-run.
+func TestFamilyMergeSnapshotConcurrent(t *testing.T) {
+	src := NewFamily()
+	dst := NewFamily()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				src.Counter("a").Add(1)
+				dst.Counter("b").Add(1)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				dst.Merge(src)
+				_ = dst.Snapshot()
+				_ = src.String()
+			}
+		}()
+	}
+	wg.Wait()
+	// Deterministic final merge on quiesced families.
+	final := NewFamily()
+	final.Merge(src)
+	if got := final.Snapshot()["a"]; got != 800 {
+		t.Fatalf("src a = %d, want 800", got)
+	}
+	if got := dst.Snapshot()["b"]; got != 800 {
+		t.Fatalf("dst b = %d, want 800", got)
+	}
+}
+
+func TestBucketedHistogramQuantiles(t *testing.T) {
+	h := NewBucketedHistogram(10*time.Millisecond, 100*time.Millisecond, time.Second)
+	if !h.IsBucketed() || h.IsValue() {
+		t.Fatal("mode flags wrong")
+	}
+	for i := 1; i <= 90; i++ {
+		h.Observe(5 * time.Millisecond) // <=10ms bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50 * time.Millisecond) // <=100ms bucket
+	}
+	h.Observe(5 * time.Second) // overflow
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 10*time.Millisecond {
+		t.Fatalf("p50 = %v, want 10ms bucket bound", got)
+	}
+	if got := h.Quantile(0.95); got != 100*time.Millisecond {
+		t.Fatalf("p95 = %v, want 100ms bucket bound", got)
+	}
+	// Overflow bucket reports the observed max, and extremes clamp.
+	if got := h.Quantile(0.999); got != 5*time.Second {
+		t.Fatalf("p99.9 = %v, want observed max", got)
+	}
+	if h.Min() != 5*time.Millisecond || h.Max() != 5*time.Second {
+		t.Fatalf("min/max %v %v", h.Min(), h.Max())
+	}
+	wantMean := (90*5*time.Millisecond + 9*50*time.Millisecond + 5*time.Second) / 100
+	if h.Mean() != wantMean {
+		t.Fatalf("mean %v, want %v (exact sum/n, not bucketed)", h.Mean(), wantMean)
+	}
+	bounds, counts, sum, n := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 || n != 100 || sum == 0 {
+		t.Fatalf("Buckets() = %v %v %d %d", bounds, counts, sum, n)
+	}
+	if counts[0] != 90 || counts[1] != 9 || counts[3] != 1 {
+		t.Fatalf("bucket counts %v", counts)
+	}
+}
+
+func TestValueHistogram(t *testing.T) {
+	h := NewValueHistogram(1, 2, 4, 8, 16)
+	for _, v := range []int64{1, 1, 3, 5, 7, 12, 40} {
+		h.ObserveValue(v)
+	}
+	if !h.IsValue() {
+		t.Fatal("not value mode")
+	}
+	// Exact p50 is 5; the bucketed answer is its bucket's upper bound.
+	if got := h.QuantileValue(0.5); got != 8 {
+		t.Fatalf("p50 = %d, want 8 (bucket bound)", got)
+	}
+	if got := h.QuantileValue(1); got != 40 {
+		t.Fatalf("max = %d, want 40", got)
+	}
+	if h.MeanValue() != 69/7 {
+		t.Fatalf("mean %d", h.MeanValue())
+	}
+	s := h.Summary()
+	if !strings.Contains(s, "n=7") || strings.Contains(s, "ns") {
+		t.Fatalf("value summary rendered as durations: %q", s)
+	}
+}
+
+func TestBucketedHistogramEmpty(t *testing.T) {
+	h := NewBucketedHistogram(time.Millisecond)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty bucketed histogram not zero")
+	}
+}
+
+func TestRegistryPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(7)
+	r.AddCounterFunc("p2pltr_kts_grants", c.Value)
+	r.AddGaugeFunc("p2pltr_kts_queue_depth", func() int64 { return 3 })
+	fam := NewFamily()
+	fam.Counter("route-hits").Add(5)
+	r.AddFamily("p2pltr_gateway", fam)
+	bh := NewBucketedHistogram(10*time.Millisecond, time.Second)
+	bh.Observe(5 * time.Millisecond)
+	bh.Observe(2 * time.Second)
+	r.AddHistogram("p2pltr_commit_seconds", bh)
+	sh := NewHistogram()
+	sh.Observe(30 * time.Millisecond)
+	r.AddHistogramSet("p2pltr_trace", func() map[string]*Histogram {
+		return map[string]*Histogram{"commit/rpc": sh}
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE p2pltr_kts_grants counter\np2pltr_kts_grants 7\n",
+		"# TYPE p2pltr_kts_queue_depth gauge\np2pltr_kts_queue_depth 3\n",
+		"p2pltr_gateway_route_hits_total 5",
+		"# TYPE p2pltr_commit_seconds histogram",
+		`p2pltr_commit_seconds_bucket{le="0.01"} 1`,
+		`p2pltr_commit_seconds_bucket{le="+Inf"} 2`,
+		"p2pltr_commit_seconds_count 2",
+		"# TYPE p2pltr_trace_commit_rpc summary",
+		`p2pltr_trace_commit_rpc{quantile="0.5"} 0.03`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["p2pltr_kts_grants"] != 7 || snap["p2pltr_gateway_route_hits"] != 5 {
+		t.Fatalf("snapshot %v", snap)
+	}
+}

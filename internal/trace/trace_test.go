@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pltr/internal/vclock"
+)
+
+func driver(t *testing.T, v *vclock.Virtual) {
+	t.Helper()
+	v.Register()
+	t.Cleanup(v.Unregister)
+}
+
+// Segment durations must sum exactly to the span total under virtual
+// time — the reconciliation property the E13 breakdown relies on.
+func TestSpanSegmentsSumToTotal(t *testing.T) {
+	v := vclock.NewVirtual()
+	driver(t, v)
+	tr := New(v, 16)
+	ctx := context.Background()
+
+	sp := tr.Start("commit", "doc-1")
+	_ = v.Sleep(ctx, 10*time.Millisecond)
+	sp.Mark("queue-wait")
+	_ = v.Sleep(ctx, 25*time.Millisecond)
+	sp.MarkN("route", 3)
+	sp.Note("route-cached", 0)
+	_ = v.Sleep(ctx, 5*time.Millisecond)
+	sp.Mark("rpc")
+	sp.End()
+
+	got := tr.Recent(1)
+	if len(got) != 1 {
+		t.Fatalf("Recent(1) returned %d spans", len(got))
+	}
+	d := got[0]
+	if d.Total() != 40*time.Millisecond {
+		t.Fatalf("total %v, want 40ms", d.Total())
+	}
+	var sum time.Duration
+	for _, e := range d.Events {
+		if !e.Note {
+			sum += e.Dur
+		}
+	}
+	if sum != d.Total() {
+		t.Fatalf("segments sum to %v, span total %v", sum, d.Total())
+	}
+	if d.Stage("queue-wait") != 10*time.Millisecond || d.Stage("route") != 25*time.Millisecond || d.Stage("rpc") != 5*time.Millisecond {
+		t.Fatalf("unexpected stage attribution: %+v", d.Events)
+	}
+	// The final mark ran at End's instant, so no residual "tail" segment.
+	if d.Stage("tail") != 0 {
+		t.Fatalf("unexpected tail segment: %+v", d.Events)
+	}
+}
+
+// Unmarked residual time is attributed to the synthetic "tail" stage so
+// reconciliation holds even for spans that forget a final mark.
+func TestSpanTailAbsorbsResidual(t *testing.T) {
+	v := vclock.NewVirtual()
+	driver(t, v)
+	tr := New(v, 16)
+
+	sp := tr.Start("validate", "doc-2")
+	_ = v.Sleep(context.Background(), 7*time.Millisecond)
+	sp.EndErr(errors.New("boom"))
+
+	d := tr.Recent(1)[0]
+	if d.Err != "boom" {
+		t.Fatalf("err %q, want boom", d.Err)
+	}
+	if d.Stage("tail") != 7*time.Millisecond || d.Total() != 7*time.Millisecond {
+		t.Fatalf("tail %v total %v, want 7ms both", d.Stage("tail"), d.Total())
+	}
+}
+
+// A nil tracer hands out nil spans and everything is a no-op.
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("commit", "k")
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	sp.Mark("a")
+	sp.MarkN("b", 2)
+	sp.Note("c", 3)
+	sp.EndErr(errors.New("x"))
+	sp.End()
+	if tr.Ended() != 0 || tr.Recent(5) != nil || tr.StageHistograms() != nil {
+		t.Fatal("nil tracer accessors not empty")
+	}
+	ctx := NewContext(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("nil span round-tripped through context as non-nil")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := New(nil, 4)
+	sp := tr.Start("commit", "k")
+	ctx := NewContext(context.Background(), sp)
+	if FromContext(ctx) != sp {
+		t.Fatal("span lost in context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context produced a span")
+	}
+	sp.End()
+}
+
+// The ring retains the last keep spans, most recent first.
+func TestRecentRingEviction(t *testing.T) {
+	tr := New(nil, 4)
+	for i := 0; i < 10; i++ {
+		tr.Start("k", string(rune('a'+i))).End()
+	}
+	got := tr.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(got))
+	}
+	for i, want := range []string{"j", "i", "h", "g"} {
+		if got[i].Key != want {
+			t.Fatalf("ring[%d].Key = %q, want %q", i, got[i].Key, want)
+		}
+	}
+	if tr.Ended() != 10 {
+		t.Fatalf("Ended() = %d, want 10", tr.Ended())
+	}
+}
+
+// Two identical virtual-time schedules produce identical span digests:
+// span IDs, event sequences, and timestamps all reproduce.
+func TestSpanOrderingDeterministicUnderVirtual(t *testing.T) {
+	run := func() (uint64, int64) {
+		v := vclock.NewVirtual()
+		v.Register()
+		defer v.Unregister()
+		tr := New(v, 64)
+		digest := HashSeed()
+		var mu sync.Mutex
+		tr.SetSink(func(d SpanData) {
+			mu.Lock()
+			digest = d.Hash(digest)
+			mu.Unlock()
+		})
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			i := i
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				sp := tr.Start("commit", string(rune('a'+i)))
+				_ = v.Sleep(ctx, time.Duration(i+1)*time.Millisecond)
+				sp.Mark("queue-wait")
+				_ = v.Sleep(ctx, time.Duration(8-i)*time.Millisecond)
+				sp.Mark("rpc")
+				sp.End()
+			})
+		}
+		_ = v.Sleep(ctx, 50*time.Millisecond)
+		wg.Wait()
+		return digest, tr.Ended()
+	}
+	d1, n1 := run()
+	d2, n2 := run()
+	if d1 != d2 || n1 != n2 {
+		t.Fatalf("same-seed trace runs diverged: digest %x/%x spans %d/%d", d1, d2, n1, n2)
+	}
+	if n1 != 8 {
+		t.Fatalf("ended %d spans, want 8", n1)
+	}
+}
+
+// Stage aggregates land in per-(kind,stage) bucketed histograms.
+func TestStageHistogramsAggregate(t *testing.T) {
+	v := vclock.NewVirtual()
+	driver(t, v)
+	tr := New(v, 16)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("commit", "k")
+		_ = v.Sleep(ctx, 20*time.Millisecond)
+		sp.Mark("rpc")
+		sp.End()
+	}
+	h := tr.StageHistograms()["commit/rpc"]
+	if h == nil {
+		t.Fatal("commit/rpc histogram missing")
+	}
+	if h.Count() != 3 {
+		t.Fatalf("commit/rpc count %d, want 3", h.Count())
+	}
+	// Bucket bound 25ms clamps to the observed max of 20ms.
+	if q := h.Quantile(0.5); q != 20*time.Millisecond {
+		t.Fatalf("p50 %v, want 20ms (bucket bound clamped to max)", q)
+	}
+	var b strings.Builder
+	tr.StageSummary(&b)
+	if !strings.Contains(b.String(), "commit/rpc") {
+		t.Fatalf("summary missing stage: %q", b.String())
+	}
+}
+
+func TestWriteRecentRendersEvents(t *testing.T) {
+	tr := New(nil, 4)
+	sp := tr.Start("commit", "doc")
+	sp.MarkN("route", 2)
+	sp.Note("route-cached", 1)
+	sp.End()
+	var b strings.Builder
+	tr.WriteRecent(&b, 1)
+	out := b.String()
+	for _, want := range []string{"commit", "key=doc", "route=", "[route-cached n=1]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteRecent output %q missing %q", out, want)
+		}
+	}
+}

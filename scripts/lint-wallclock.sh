@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# lint-wallclock.sh — forbid direct wall-clock reads in instrumented
+# packages.
+#
+# Every timestamp on the commit pipeline (chord routing, DHT, KTS
+# validation, gateway batching, tracing, metrics) must flow through the
+# vclock.Clock seam: that is what makes traces and latency histograms
+# exact — and the whole stack bitwise-deterministic — under
+# vclock.Virtual. A stray time.Now() silently reads the OS clock
+# instead, which is invisible in tests on real time and a determinism
+# divergence under virtual time.
+#
+# Exclusions:
+#   - internal/vclock    IS the seam (its Real implementation wraps time.*)
+#   - internal/harness   measures wall time of real experiment runs on purpose
+#   - internal/ringtest  drives real-time cluster variants
+#   - *_test.go          tests drive both real and virtual clocks
+#   - cmd/               binaries run on the system clock by definition
+#
+# Escape hatch for a genuine wall-clock need in an instrumented package:
+# put `// lint:allow-wallclock` on the offending line.
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern='\btime\.(Now|Since|NewTicker|NewTimer|After|Tick|Sleep)\('
+out=$(grep -rn -E "$pattern" internal --include='*.go' \
+  | grep -v '_test\.go:' \
+  | grep -v '^internal/vclock/' \
+  | grep -v '^internal/harness/' \
+  | grep -v '^internal/ringtest/' \
+  | grep -v 'lint:allow-wallclock' || true)
+
+if [ -n "$out" ]; then
+  echo "$out"
+  echo >&2 ""
+  echo >&2 "direct wall-clock call in an instrumented package: use the injected"
+  echo >&2 "vclock.Clock (or vclock.System at a package boundary), or tag the"
+  echo >&2 "line with '// lint:allow-wallclock' if wall time is really meant."
+  exit 1
+fi
+echo "lint-wallclock: OK (instrumented packages use the vclock seam only)"
