@@ -169,6 +169,13 @@ type Node struct {
 	suspects map[string]suspicion
 	started  bool
 	stopped  bool
+	// joining marks an in-flight Join attempt. A node that is neither
+	// running nor joining — the idle half-joined state a failed attempt
+	// leaves behind — still serves requests (the handover may already
+	// have moved real state onto it), but answers lookups only as
+	// non-authoritative redirects so its empty tables can never bottom a
+	// walk out on its own stale record (see handleFindSuccessor).
+	joining bool
 
 	services []Service
 
@@ -306,6 +313,16 @@ func (n *Node) Predecessor() msg.NodeRef {
 	return n.pred
 }
 
+// idle reports whether the node is neither running nor inside an active
+// Join attempt — the half-joined parking state a failed join leaves
+// behind. Idle nodes refuse liveness probes and answer lookups without
+// authority (see handle and handleFindSuccessor).
+func (n *Node) idle() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return !(n.started && !n.stopped) && !n.joining
+}
+
 // Owns implements Ring: the node is responsible for key iff
 // key ∈ (predecessor, self]. With no known predecessor the node claims the
 // key (single-node ring or transient join state; stabilization corrects
@@ -364,6 +381,14 @@ func (n *Node) Create() {
 // requires ("the old responsible transfers its keys and timestamps to the
 // new Master-key"), and starts maintenance.
 func (n *Node) Join(ctx context.Context, bootstrap transport.Addr) error {
+	n.mu.Lock()
+	n.joining = true
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.joining = false
+		n.mu.Unlock()
+	}()
 	// A previous Join attempt that failed after installing its successor
 	// (a lost handover ack, say) leaves this node half-joined: the
 	// successor may already count us as its predecessor and the ring may

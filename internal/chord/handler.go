@@ -11,11 +11,45 @@ import (
 
 // handle is the transport-level dispatcher: Chord maintenance messages are
 // served here, everything else is offered to the mounted services.
+//
+// Most requests are served regardless of lifecycle state — a node a
+// failed Join attempt left half-joined (constructed, never started,
+// idle between retries) keeps answering handovers, state transfers and
+// service RPCs, because the handover may already have moved real state
+// onto it and refusing would make that state unreachable. Two message
+// kinds are the exception, and together they let the ring heal around
+// the half-joined record:
+//
+//   - Liveness probes — Ping and Neighbors — are REFUSED while idle.
+//     The successor adopted the joiner as predecessor at handover time,
+//     so its record is already in the ring; if the idle node kept
+//     acking probes, suspicion would reset on every contact (a
+//     Neighbors answer clears suspicion too, see
+//     liveSuccessorNeighbors), stabilization would never evict the
+//     record, and stale successor-list entries naming it would keep
+//     feeding best-effort-final lookup answers forever. Refusing makes
+//     the idle stretches between join attempts look like death —
+//     provided the caller spaces retries out (see the join backoff in
+//     simtest), eviction's confirming strikes land and every table
+//     heals.
+//
+//   - Lookups are answered WITHOUT authority (see handleFindSuccessor):
+//     an error would poison the whole walk — walk() can only route
+//     around transport-level failures, not application errors — while a
+//     final answer from empty tables bottoms the lookup out on the
+//     phantom's own record. A plain redirect to the installed successor
+//     does neither.
 func (n *Node) handle(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, error) {
 	switch r := req.(type) {
 	case *msg.PingReq:
+		if n.idle() {
+			return nil, fmt.Errorf("chord: %s: node not running", n.ref)
+		}
 		return &msg.Ack{}, nil
 	case *msg.NeighborsReq:
+		if n.idle() {
+			return nil, fmt.Errorf("chord: %s: node not running", n.ref)
+		}
 		return n.localNeighbors(), nil
 	case *msg.FindSuccessorReq:
 		return n.handleFindSuccessor(ctx, r)

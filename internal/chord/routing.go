@@ -157,9 +157,32 @@ func (n *Node) lookupStrikeBudget() int {
 // handleFindSuccessor serves one routing step: it answers Final with the
 // successor if key ∈ (self, successor], otherwise it redirects to the
 // closest preceding node it knows of.
+//
+// A node that is neither running nor mid-join never answers with
+// authority. A failed Join attempt can leave such a node half-joined
+// forever: its successor already adopted it as predecessor at handover
+// time, so stale finger and successor records keep routing lookups into
+// it, while its own tables are empty or self-pointing — the "final"
+// fallbacks below would bottom every such lookup out on the phantom's
+// own record (with no predecessor, Owns over-claims the whole ring),
+// and a fresh peer's join against that answer fails with "lookup
+// answered own stale record" no matter how often it retries. Instead
+// the idle node hands out its installed successor as a plain redirect,
+// so the walk routes through it and terminates on a live authority.
+// Pings and neighbor queries are refused while idle (see handle) so
+// suspicion strikes accumulate and the stale record is evicted; state
+// RPCs (handover, absorb, services) are still served — the handover may
+// already have moved real state here.
 func (n *Node) handleFindSuccessor(ctx context.Context, req *msg.FindSuccessorReq) (msg.Message, error) {
 	if req.Hops > MaxHops {
 		return nil, fmt.Errorf("chord: hop budget exhausted at %s", n.ref)
+	}
+	if n.idle() {
+		succ := n.Successor()
+		if succ.IsZero() || succ.ID == n.id {
+			return nil, fmt.Errorf("chord: %s: node not running", n.ref)
+		}
+		return &msg.FindSuccessorResp{Node: succ, Hops: req.Hops + 1, Final: false}, nil
 	}
 	succ := n.Successor()
 	if ids.BetweenRightIncl(req.Key, n.id, succ.ID) {

@@ -328,12 +328,17 @@ func (r *Replica) Commit(ctx context.Context) (uint64, error) {
 			}
 			if own {
 				// Our patch was already committed by a previous master
-				// incarnation (crash window): integrateMissingLocked
-				// installed the log's version and cleared the tentative.
+				// incarnation or a lost ValidateOK ack (crash window):
+				// integrateMissingLocked installed the log's version and
+				// cleared the tentative. Return the timestamp the log
+				// assigned to OUR patch, not the caught-up committedTS —
+				// other patches integrated in the same round may have
+				// advanced it past our slot, and reporting their timestamp
+				// as ours would show one grant as two distinct commits.
 				if err := r.saveLocked(); err != nil {
 					return r.committedTS, fmt.Errorf("core: committed but journaling failed: %w", err)
 				}
-				return r.committedTS, nil
+				return r.integrated[p.ID], nil
 			}
 			if len(r.tentative) == 0 {
 				// A checkpoint rebase dropped every tentative op (e.g.

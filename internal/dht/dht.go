@@ -53,10 +53,14 @@ type Service struct {
 	// makes each sweep O(new history), so it never re-deletes them).
 	floors map[string]uint64
 	// floorHint re-derives floors lost to a process restart (see
-	// SetFloorHint); floorChecked marks keys whose hint was already
-	// consulted, so each key pays the pointer lookup once per process.
-	floorHint    func(ctx context.Context, key string) (uint64, bool)
-	floorChecked map[string]bool
+	// SetFloorHint); floorCheckedAt records when each key's hint was
+	// last consulted. Keys re-check every floorRecheck, so a checkpoint
+	// pointer that advances after the first consult still raises the
+	// floor — once-per-process derivation left every later pointer
+	// advance invisible until the next restart.
+	floorHint      func(ctx context.Context, key string) (uint64, bool)
+	floorCheckedAt map[string]time.Time
+	floorRecheck   time.Duration
 	// noSuccCopies disables the Log-Peers-Succ mechanism (ablation A1).
 	noSuccCopies bool
 
@@ -71,13 +75,15 @@ type Service struct {
 	cPromotions   *metrics.Counter
 	cFloorSweeps  *metrics.Counter
 	cFloorDerived *metrics.Counter
+	cRehomes      *metrics.Counter
 }
 
 // NewService returns an empty DHT storage service.
 func NewService() *Service {
 	s := &Service{st: store.New(), rep: store.New(), clock: vclock.System,
-		floors: make(map[string]uint64), floorChecked: make(map[string]bool),
-		counters: metrics.NewFamily()}
+		floors: make(map[string]uint64), floorCheckedAt: make(map[string]time.Time),
+		floorRecheck: DefaultFloorRecheck,
+		counters:     metrics.NewFamily()}
 	s.cPuts = s.counters.Counter("puts")
 	s.cReplicaPuts = s.counters.Counter("replica-puts")
 	s.cGets = s.counters.Counter("gets")
@@ -86,12 +92,13 @@ func NewService() *Service {
 	s.cPromotions = s.counters.Counter("promotions")
 	s.cFloorSweeps = s.counters.Counter("floor-swept-slots")
 	s.cFloorDerived = s.counters.Counter("floors-derived")
+	s.cRehomes = s.counters.Counter("rehomes")
 	return s
 }
 
 // Counters returns the service's storage metric family: puts,
 // replica-puts, gets, get-misses, deletes, promotions,
-// floor-swept-slots, floors-derived.
+// floor-swept-slots, floors-derived, rehomes.
 func (s *Service) Counters() *metrics.Family { return s.counters }
 
 // SetClock routes the service's asynchronous successor-copy pushes (their
@@ -140,10 +147,12 @@ func (s *Service) succCopiesEnabled() bool {
 }
 
 // SetFloorHint wires the truncation-floor re-derivation source Maintain
-// consults for document keys that have log slots stored locally but no
-// recorded floor — the state of a freshly restarted process, whose
-// in-memory floors are gone while stale slot copies may still arrive
-// from lagging peers. The hint returns the floor to record (0 = none
+// consults for document keys that have log slots stored locally — first
+// for keys with no recorded floor (the state of a freshly restarted
+// process, whose in-memory floors are gone while stale slot copies may
+// still arrive from lagging peers), then again every floorRecheck so an
+// advancing pointer keeps raising the floor without waiting for another
+// restart. The hint returns the floor to record (0 = none
 // derivable) and ok=false when its source was unreachable (the key is
 // retried next pass). core.Peer wires it to the replicated checkpoint
 // pointer minus the maintenance engine's KeepIntervals safety margin:
@@ -154,6 +163,22 @@ func (s *Service) SetFloorHint(hint func(ctx context.Context, key string) (uint6
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.floorHint = hint
+}
+
+// DefaultFloorRecheck is how often deriveFloors re-consults the hint
+// for a key it already checked: long enough that steady-state passes
+// stay O(new history), short enough that a pointer advancing after the
+// first consult raises the floor within a couple of truncation periods.
+const DefaultFloorRecheck = time.Minute
+
+// SetFloorRecheckEvery overrides the per-key floor re-derivation period
+// (tests compress it to virtual seconds).
+func (s *Service) SetFloorRecheckEvery(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d > 0 {
+		s.floorRecheck = d
+	}
 }
 
 // noteFloor records a truncation low-water mark. When it rises, the
@@ -387,6 +412,7 @@ func (s *Service) Maintain(ctx context.Context) {
 		return
 	}
 	s.deriveFloors(ctx)
+	s.rehomeStranded(ctx)
 	if !s.succCopiesEnabled() {
 		return
 	}
@@ -437,13 +463,70 @@ func (s *Service) Maintain(ctx context.Context) {
 	_, _ = rng.Call(cctx, transport.Addr(succ.Addr), &msg.DHTReplicaPutReq{Items: items, Floors: floors})
 }
 
+// rehomeBatch bounds how many stranded primaries one Maintain pass
+// re-homes, keeping the tick cheap; the remainder goes next pass.
+const rehomeBatch = 16
+
+// rehomeStranded migrates primaries this node no longer owns to their
+// routed owner. A node whose predecessor was evicted transiently claims
+// the whole ring (Owns over-claims on a zero predecessor), and puts
+// routed through the healing window land on it; once the true
+// predecessor is re-adopted those slots are stranded — the healed ring
+// routes their keys elsewhere, so no read, refresh or promotion ever
+// finds them again. Each pass re-puts stranded slots at the current
+// routed owner (IfAbsent: a write-once slot the owner already holds, or
+// a fresher mutable record there, wins over our stale copy) and drops
+// the local primary once the owner has acknowledged.
+func (s *Service) rehomeStranded(ctx context.Context) {
+	rng := s.ring()
+	if rng == nil {
+		return
+	}
+	self := rng.Ref()
+	moved := 0
+	for _, e := range s.st.SnapshotAll() {
+		if moved >= rehomeBatch {
+			return
+		}
+		if s.belowFloor(e.Key) || rng.Owns(e.ID) {
+			continue
+		}
+		owner, _, err := rng.FindSuccessor(ctx, e.ID)
+		if err != nil || owner.IsZero() || owner.Addr == string(self.Addr) {
+			// Routing still names this node (or cannot answer yet):
+			// ownership is in flux, keep the primary and retry next pass.
+			continue
+		}
+		cctx, cancel := s.clk().WithTimeout(ctx, 2*time.Second)
+		resp, err := rng.Call(cctx, transport.Addr(owner.Addr), &msg.DHTPutReq{ID: e.ID, Key: e.Key, Value: e.Value, IfAbsent: true})
+		cancel()
+		if err != nil {
+			continue
+		}
+		if _, ok := resp.(*msg.DHTPutResp); !ok {
+			continue
+		}
+		s.cRehomes.Add(1)
+		s.st.Delete(e.ID)
+		s.deleteFromSucc([]ids.ID{e.ID}, msg.TruncFloor{})
+		moved++
+	}
+}
+
 // deriveFloors is the restart-durability pass for truncation floors.
 // For each document key that appears in a locally stored log slot but
-// has no recorded floor, it consults the hint (once per key per
-// process) and records the result as an out-of-band floor — no primary
-// sweep, so it can never race an in-flight truncation's delete
-// accounting; below-floor primaries are reclaimed lazily by reads and
-// the refresh walk, like every other out-of-band floor.
+// has no recorded floor, it consults the hint and records the result as
+// an out-of-band floor; a key that entered the hint cycle this way is
+// then RE-consulted every floorRecheck, so a checkpoint pointer that
+// advances after the first consult still raises the floor (the old
+// once-per-process consult left every later advance invisible until the
+// next restart). Keys whose floor arrived through a truncation sweep
+// never enter the cycle: the sweep channel that reached them keeps
+// raising their floor under the engine's rate limit, which the hint
+// must not bypass. No primary sweep happens here, so it can never race
+// an in-flight truncation's delete accounting; below-floor primaries
+// are reclaimed lazily by reads and the refresh walk, like every other
+// out-of-band floor.
 func (s *Service) deriveFloors(ctx context.Context) {
 	s.mu.Lock()
 	hint := s.floorHint
@@ -451,6 +534,7 @@ func (s *Service) deriveFloors(ctx context.Context) {
 	if hint == nil {
 		return
 	}
+	now := s.clk().Now()
 	cand := make(map[string]bool)
 	for _, st := range []*store.Store{s.st, s.rep} {
 		for _, e := range st.SnapshotMeta() {
@@ -460,9 +544,10 @@ func (s *Service) deriveFloors(ctx context.Context) {
 			}
 			s.mu.Lock()
 			_, hasFloor := s.floors[key]
-			checked := s.floorChecked[key]
+			last, checked := s.floorCheckedAt[key]
+			recheck := s.floorRecheck
 			s.mu.Unlock()
-			if !hasFloor && !checked {
+			if (!checked && !hasFloor) || (checked && now.Sub(last) >= recheck) {
 				cand[key] = true
 			}
 		}
@@ -477,10 +562,10 @@ func (s *Service) deriveFloors(ctx context.Context) {
 	for _, key := range keys {
 		ts, ok := hint(ctx, key)
 		if !ok {
-			continue
+			continue // source unreachable; retried next pass
 		}
 		s.mu.Lock()
-		s.floorChecked[key] = true
+		s.floorCheckedAt[key] = now
 		s.mu.Unlock()
 		if ts > 0 {
 			s.cFloorDerived.Add(1)

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"testing"
+
+	"p2pltr/internal/simtest"
+)
+
+// TestE12PlanEquivalence asserts the declarative plan runner reproduces
+// the hand-written E12 driver's invariant results: the same scenario —
+// full stack, sustained loss, crash/join churn, boundary authors killed
+// at their checkpoint commit — expressed as a simtest plan passes every
+// invariant the driver enforces by erroring (convergence, checkpoint
+// pointer reaching the last boundary, log reclamation), and both
+// drivers agree on the qualitative maintenance outcomes (fallback
+// checkpoints produced, slots truncated, authors killed).
+//
+// Equivalence is at the invariant level, not bitwise: the plan runner
+// is a different driver with its own event loop, so timelines differ,
+// but what the scenario PROVES about the stack must not.
+func TestE12PlanEquivalence(t *testing.T) {
+	const (
+		seed   = 7
+		peers  = 512
+		docs   = 4
+		perDoc = 2
+		edits  = 4
+		rounds = 1
+	)
+
+	// The driver: runE12 returns an error if any of its built-in
+	// invariants fail (convergence, pointer, reclamation).
+	drv, err := runE12(seed, peers, docs, perDoc, edits, rounds)
+	if err != nil {
+		t.Fatalf("driver E12: %v", err)
+	}
+
+	// The same scenario as a plan: E12's constants (25ms/0.5 latency,
+	// 1% loss, interval 8, batch = peers/50 churn at warmup+20s, first
+	// half of the docs doomed) expressed declaratively.
+	plan := simtest.Plan{
+		Name:           "e12-equivalence",
+		Peers:          peers,
+		Docs:           docs,
+		EditorsPerDoc:  perDoc,
+		EditsPerEditor: edits,
+		LossRate:       0.01,
+		Churn:          []simtest.ChurnBatch{{AtMS: 23_000, Crash: peers / 50, Join: peers / 50}},
+		Faults: []simtest.FaultEvent{
+			{Kind: simtest.FaultCrashBoundaryAuthor, Doc: 0},
+			{Kind: simtest.FaultCrashBoundaryAuthor, Doc: 1},
+		},
+	}
+	res := simtest.Run(plan, seed)
+	if !res.Pass() {
+		t.Fatalf("plan E12 violates invariants the driver passed: %+v", res.Violations())
+	}
+
+	// Both must have exercised the scenario's point: boundary authors
+	// died, the fallback producer kept the checkpoint chain alive, and
+	// truncation reclaimed log prefix.
+	drvKills := 0
+	for _, ev := range drv.Events {
+		if ev.Kind == "author-killed" {
+			drvKills++
+		}
+	}
+	if drvKills == 0 || res.Kills == 0 {
+		t.Fatalf("boundary authors not killed: driver %d, plan %d", drvKills, res.Kills)
+	}
+	if drv.Counters["fallback-checkpoints"] == 0 || res.Counters["fallback-checkpoints"] == 0 {
+		t.Errorf("no fallback checkpoints produced: driver %v, plan %v", drv.Counters, res.Counters)
+	}
+	// At this size the final ts sits at the first interval boundary, so
+	// the reclaim horizon is 0 and neither driver truncates; the two
+	// must agree on whether truncation ran, whatever the size.
+	if (drv.Counters["slots-truncated"] > 0) != (res.Counters["slots-truncated"] > 0) {
+		t.Errorf("truncation disagreement: driver %d slots, plan %d slots",
+			drv.Counters["slots-truncated"], res.Counters["slots-truncated"])
+	}
+
+	// Per-doc agreement on the doomed set and checkpoint coverage: in
+	// both drivers every doc's pointer reached the last interval
+	// boundary (the driver waits for it, the plan checks it).
+	if len(drv.Docs) != len(res.Docs) {
+		t.Fatalf("doc report counts: driver %d, plan %d", len(drv.Docs), len(res.Docs))
+	}
+	for i := range res.Docs {
+		if drv.Docs[i].Doomed != res.Docs[i].Doomed {
+			t.Errorf("doc %d doomed: driver %v, plan %v", i, drv.Docs[i].Doomed, res.Docs[i].Doomed)
+		}
+		if interval := uint64(8); res.Docs[i].FinalTS >= interval && res.Docs[i].CkptPtr < res.Docs[i].FinalTS-res.Docs[i].FinalTS%interval {
+			t.Errorf("plan doc %d pointer %d below last boundary of final ts %d",
+				i, res.Docs[i].CkptPtr, res.Docs[i].FinalTS)
+		}
+	}
+}

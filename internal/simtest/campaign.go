@@ -1,0 +1,110 @@
+package simtest
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"p2pltr/internal/vclock"
+)
+
+// SeedResult is the per-seed outcome a campaign keeps: the verdicts and
+// the trace fingerprint, not the full (large) Result.
+type SeedResult struct {
+	Seed       int64    `json:"seed"`
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+	Checks     []Check  `json:"checks"`
+	Digest     uint64   `json:"digest"`
+	Commits    int      `json:"commits"`
+	Virtual    int64    `json:"virtual_ms"`
+	Wall       int64    `json:"wall_ms"`
+}
+
+// CampaignReport summarizes a seed sweep.
+type CampaignReport struct {
+	Plan    string       `json:"plan"`
+	Seeds   int          `json:"seeds"`
+	Workers int          `json:"workers"`
+	Passed  int          `json:"passed"`
+	Failed  int          `json:"failed"`
+	Results []SeedResult `json:"results"`
+	// SeedsPerMinute is sweep throughput in wall time — the one
+	// intentionally nondeterministic figure in the report.
+	SeedsPerMinute float64 `json:"seeds_per_minute"`
+	WallMS         int64   `json:"wall_ms"`
+}
+
+// FirstFailure returns the lowest failing seed's result, or nil.
+func (c *CampaignReport) FirstFailure() *SeedResult {
+	for i := range c.Results {
+		if !c.Results[i].Pass {
+			return &c.Results[i]
+		}
+	}
+	return nil
+}
+
+// Campaign sweeps seeds [firstSeed, firstSeed+seeds) of the plan across
+// parallel workers — the FoundationDB move: one deterministic simulation,
+// many seeds, every seed a different fault interleaving. Each worker
+// runs complete, independent simulations (own virtual clock, own
+// simnet), so workers only share the results slice. onDone, if non-nil,
+// is called after each finished seed (progress reporting; called from
+// worker goroutines, in completion order).
+func Campaign(plan Plan, firstSeed int64, seeds, workers int, onDone func(SeedResult)) *CampaignReport {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > seeds {
+		workers = seeds
+	}
+	rep := &CampaignReport{Plan: plan.Name, Seeds: seeds, Workers: workers}
+	start := vclock.System.Now()
+	results := make([]SeedResult, seeds)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res := Run(plan, firstSeed+int64(i))
+				sr := SeedResult{
+					Seed:       res.Seed,
+					Pass:       res.Pass(),
+					Violations: res.ViolationNames(),
+					Checks:     res.Checks,
+					Digest:     res.Digest,
+					Commits:    res.Commits,
+					Virtual:    res.Virtual.Milliseconds(),
+					Wall:       res.Wall.Milliseconds(),
+				}
+				results[i] = sr
+				if onDone != nil {
+					onDone(sr)
+				}
+			}
+		}()
+	}
+	for i := 0; i < seeds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	rep.Results = results
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Seed < rep.Results[j].Seed })
+	for _, r := range rep.Results {
+		if r.Pass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+	}
+	wall := vclock.System.Since(start)
+	rep.WallMS = wall.Milliseconds()
+	if wall > 0 {
+		rep.SeedsPerMinute = float64(seeds) / (float64(wall) / float64(time.Minute))
+	}
+	return rep
+}

@@ -1,0 +1,53 @@
+package simtest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCampaignDeterministic is the satellite acceptance: the same plan
+// swept twice over the same seeds must produce identical verdicts,
+// trace digests and invariant reports, regardless of worker
+// interleaving (3 seeds over 2 workers land on different workers in
+// different orders across the two sweeps).
+func TestCampaignDeterministic(t *testing.T) {
+	plan := smallPlan()
+	sweep := func() *CampaignReport { return Campaign(plan, 11, 3, 2, nil) }
+	a, b := sweep(), sweep()
+	if a.Passed != 3 || a.Failed != 0 {
+		t.Fatalf("campaign failed: %+v", a.Results)
+	}
+	norm := func(rs []SeedResult) []SeedResult {
+		out := append([]SeedResult{}, rs...)
+		for i := range out {
+			out[i].Wall = 0
+		}
+		return out
+	}
+	if !reflect.DeepEqual(norm(a.Results), norm(b.Results)) {
+		t.Fatalf("sweeps diverged:\n%+v\nvs\n%+v", norm(a.Results), norm(b.Results))
+	}
+	for i := 1; i < len(a.Results); i++ {
+		if a.Results[i].Seed <= a.Results[i-1].Seed {
+			t.Fatalf("results not sorted by seed: %+v", a.Results)
+		}
+		if a.Results[i].Digest == a.Results[0].Digest {
+			t.Fatalf("seeds %d and %d share a digest; the sweep is not exploring",
+				a.Results[0].Seed, a.Results[i].Seed)
+		}
+	}
+}
+
+func TestCampaignFirstFailure(t *testing.T) {
+	rep := &CampaignReport{Results: []SeedResult{
+		{Seed: 1, Pass: true},
+		{Seed: 2, Pass: false, Violations: []string{"checkpoint-lag"}},
+		{Seed: 3, Pass: false},
+	}}
+	if f := rep.FirstFailure(); f == nil || f.Seed != 2 {
+		t.Fatalf("FirstFailure = %+v", f)
+	}
+	if f := (&CampaignReport{}).FirstFailure(); f != nil {
+		t.Fatalf("empty report failure = %+v", f)
+	}
+}

@@ -1,0 +1,25 @@
+package simtest
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCommittedE12PlanMatchesBuiltin guards the committed example plan
+// against drifting from the builtin it documents: CI sweeps the file,
+// tests sweep the builtin, and the two must stay the same experiment.
+// Regenerate on intentional changes:
+//
+//	go run ./cmd/p2pltr-sim plan -plan e12 > examples/plans/e12.json
+func TestCommittedE12PlanMatchesBuiltin(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "plans", "e12.json")
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load committed plan: %v", err)
+	}
+	want := E12Plan().WithDefaults()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("examples/plans/e12.json drifted from the builtin E12 plan:\ngot  %+v\nwant %+v\n(regenerate: go run ./cmd/p2pltr-sim plan -plan e12 > examples/plans/e12.json)", got, want)
+	}
+}

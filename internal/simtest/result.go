@@ -1,0 +1,164 @@
+package simtest
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Event is one observed milestone on a run's virtual timeline. Fields
+// are plain values so two same-seed runs compare for identity.
+type Event struct {
+	Kind string // "commit", "author-killed", "crash", "join", "partition", "heal", "kill-master"
+	Doc  string
+	Site string
+	TS   uint64
+	At   time.Duration
+}
+
+// DocReport is the per-document outcome of a run.
+type DocReport struct {
+	Doc      string
+	Doomed   bool // armed with a crash-boundary-author fault
+	FinalTS  uint64
+	Commits  int
+	CkptPtr  uint64
+	CkptLag  uint64
+	LogSlots int
+	// ConvLag is the virtual time from workload end until a cold reader
+	// on a surviving peer converged (-1: never, within the budget).
+	ConvLag time.Duration
+	// StaleMax is the worst observed commit-to-delivery staleness of
+	// the document's follower feeds (gateway plans only).
+	StaleMax time.Duration
+}
+
+// Check is one invariant verdict. A run reports every check it
+// evaluated, passed or not — campaign reports and the shrinker key off
+// the names of the failed ones.
+type Check struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Result is everything one plan run produced.
+type Result struct {
+	Plan Plan
+	Seed int64
+
+	Events   []Event
+	Docs     []DocReport
+	Checks   []Check
+	Counters map[string]int64
+
+	Commits  int
+	Kills    int
+	Delivers int
+	Grants   int64
+	Rejects  int64
+	Sent     int64
+	Dropped  int64
+
+	// Digest folds the event timeline, per-doc reports, counters and
+	// verdicts into one order-sensitive FNV-1a hash: the campaign
+	// engine's per-seed trace fingerprint. Same plan + same seed must
+	// reproduce it bitwise.
+	Digest  uint64
+	Virtual time.Duration
+	Wall    time.Duration // the one nondeterministic field
+}
+
+// Pass reports whether every invariant held.
+func (r *Result) Pass() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns the failed checks.
+func (r *Result) Violations() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ViolationNames returns the sorted names of the failed checks.
+func (r *Result) ViolationNames() []string {
+	var out []string
+	for _, c := range r.Violations() {
+		out = append(out, c.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Result) check(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+// ---------------------------------------------------------------------------
+// Digest.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type digest uint64
+
+func newDigest() digest { return fnvOffset }
+
+func (d digest) str(s string) digest {
+	h := uint64(d)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return digest(h)
+}
+
+func (d digest) u64(v uint64) digest {
+	h := uint64(d)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return digest(h)
+}
+
+func (d digest) event(e Event) digest {
+	return d.str(e.Kind).str(e.Doc).str(e.Site).u64(e.TS).u64(uint64(e.At))
+}
+
+// finalize folds the non-event outcomes into the running event digest.
+func (r *Result) finalize(d digest) {
+	for _, doc := range r.Docs {
+		d = d.str(doc.Doc).u64(doc.FinalTS).u64(doc.CkptPtr).u64(uint64(doc.LogSlots)).
+			u64(uint64(doc.ConvLag)).u64(uint64(doc.StaleMax)).u64(uint64(doc.Commits))
+	}
+	keys := make([]string, 0, len(r.Counters))
+	for k := range r.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		d = d.str(k).u64(uint64(r.Counters[k]))
+	}
+	for _, c := range r.Checks {
+		ok := uint64(0)
+		if c.OK {
+			ok = 1
+		}
+		d = d.str(c.Name).u64(ok)
+	}
+	d = d.u64(uint64(r.Sent)).u64(uint64(r.Dropped)).u64(uint64(r.Grants)).
+		u64(uint64(r.Rejects)).u64(uint64(r.Virtual)).u64(uint64(r.Delivers))
+	r.Digest = uint64(d)
+}

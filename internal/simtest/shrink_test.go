@@ -1,0 +1,108 @@
+package simtest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// violatingPlan deliberately breaks the checkpoint-lag invariant:
+// maintenance is unmounted and doc 0's only editor is killed at its
+// checkpoint-boundary commit before snapshotting, so nobody can ever
+// advance the pointer. The decoys (partition, churn, loss, a healthy
+// second doc) are noise the shrinker should strip away.
+func violatingPlan() Plan {
+	return Plan{
+		Name:            "doomed-no-maintain",
+		Seed:            3,
+		Peers:           16,
+		Docs:            2,
+		EditorsPerDoc:   1,
+		EditsPerEditor:  9, // crosses the interval-8 boundary
+		DisableMaintain: true,
+		LossRate:        0.005,
+		Churn:           []ChurnBatch{{AtMS: 9_000, Crash: 1, Join: 1}},
+		Faults: []FaultEvent{
+			{Kind: FaultCrashBoundaryAuthor, Doc: 0},
+			{Kind: FaultPartition, AtMS: 6_000, DurationMS: 2_000},
+		},
+	}
+}
+
+func TestShrinkMinimizesInjectedViolation(t *testing.T) {
+	plan := violatingPlan()
+	const seed = 3
+	rep := Shrink(plan, seed, 80, nil)
+	if rep == nil {
+		t.Fatal("original plan passed; no violation to shrink")
+	}
+	hasLag := false
+	for _, v := range rep.Target {
+		if v == "checkpoint-lag" {
+			hasLag = true
+		}
+	}
+	if !hasLag {
+		t.Fatalf("injected violation not detected: target %v", rep.Target)
+	}
+
+	min := rep.Minimal
+	// The noise must be gone: the repro keeps only the lethal
+	// ingredients (the boundary-author kill on a doc whose editor
+	// crosses the interval, with maintenance off).
+	if len(min.Faults) != 1 || min.Faults[0].Kind != FaultCrashBoundaryAuthor {
+		t.Errorf("faults not minimized: %+v", min.Faults)
+	}
+	if len(min.Churn) != 0 {
+		t.Errorf("churn not dropped: %+v", min.Churn)
+	}
+	if min.LossRate != 0 {
+		t.Errorf("loss not zeroed: %v", min.LossRate)
+	}
+	if min.Peers >= plan.Peers || min.Docs != 1 {
+		t.Errorf("topology not shrunk: peers %d docs %d", min.Peers, min.Docs)
+	}
+	// The boundary crossing is essential — halving edits below the
+	// interval would make the plan pass, so the shrinker must keep it.
+	if min.EditsPerEditor < 8 {
+		t.Errorf("shrinker broke the repro ingredient: edits %d", min.EditsPerEditor)
+	}
+
+	// The emitted repro still fails the same invariant, deterministically.
+	a, b := Run(min, seed), Run(min, seed)
+	if a.Pass() {
+		t.Fatal("minimal repro passes")
+	}
+	found := false
+	for _, v := range a.ViolationNames() {
+		if v == "checkpoint-lag" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("minimal repro fails differently: %v", a.ViolationNames())
+	}
+	if a.Digest != b.Digest || !reflect.DeepEqual(a.ViolationNames(), b.ViolationNames()) {
+		t.Fatalf("minimal repro not deterministic: %x/%v vs %x/%v",
+			a.Digest, a.ViolationNames(), b.Digest, b.ViolationNames())
+	}
+
+	// And it survives a plan-file round trip (the emitted artifact).
+	bts, err := min.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Parse(bts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Run(loaded, seed); got.Digest != a.Digest {
+		t.Fatalf("round-tripped repro diverged: %x vs %x", got.Digest, a.Digest)
+	}
+}
+
+func TestShrinkReturnsNilOnPassingPlan(t *testing.T) {
+	p := Plan{Name: "fine", Peers: 8, Docs: 1, EditorsPerDoc: 1, EditsPerEditor: 2}
+	if rep := Shrink(p, 1, 10, nil); rep != nil {
+		t.Fatalf("passing plan produced a shrink report: %+v", rep)
+	}
+}

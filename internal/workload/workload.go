@@ -1,15 +1,23 @@
 // Package workload generates the editing workloads, key popularity
-// distributions and churn schedules used by the experiment harness.
+// distributions and churn schedules used by the experiment harness and
+// the declarative plan runner (internal/simtest).
 //
 // The paper's prototype lets the operator "specify the number of peers or
 // network latencies, or provoke failures"; this package is the scripted
 // equivalent: deterministic (seeded) generators for concurrent editors,
-// Zipf-distributed document popularity, and Poisson join/leave churn.
+// think-time streams, Zipf-distributed document popularity, and Poisson
+// join/leave churn.
+//
+// Every duration this package produces feeds a scheduler — virtual or
+// real — through the vclock seam, so nothing here may read the wall
+// clock (scripts/lint-wallclock.sh enforces it) and every produced
+// duration must stay finite and overflow-safe when added to a virtual
+// instant: generators clamp to MaxGap instead of returning sentinel
+// values near the int64 edge.
 package workload
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"time"
 )
@@ -168,8 +176,10 @@ func ChurnSchedule(horizon, meanGap time.Duration, joinW, leaveW, crashW float64
 	var events []ChurnEvent
 	t := time.Duration(0)
 	for {
-		// Exponential inter-arrival.
-		gap := time.Duration(rng.ExpFloat64() * float64(meanGap))
+		// Exponential inter-arrival, clamped so the draw stays additive-
+		// safe (an unlucky ExpFloat64 times a huge meanGap overflows the
+		// Duration conversion and would schedule the event in the past).
+		gap := clampGap(rng.ExpFloat64() * float64(meanGap))
 		t += gap
 		if t >= horizon {
 			return events
@@ -206,10 +216,88 @@ func Corpus(n int) string {
 	return string(out)
 }
 
+// MaxGap is the largest duration the generators hand a scheduler: long
+// enough to mean "effectively never" at any experiment horizon, small
+// enough that adding it to any virtual instant cannot overflow (the old
+// math.MaxInt64 sentinel wrapped negative one addition later).
+const MaxGap = 10 * 365 * 24 * time.Hour
+
+func clampGap(f float64) time.Duration {
+	if f >= float64(MaxGap) {
+		return MaxGap
+	}
+	if f <= 0 {
+		return 0
+	}
+	return time.Duration(f)
+}
+
 // MeanInterArrival converts an events-per-second rate into a mean gap.
 func MeanInterArrival(perSecond float64) time.Duration {
 	if perSecond <= 0 {
-		return math.MaxInt64
+		return MaxGap
 	}
-	return time.Duration(float64(time.Second) / perSecond)
+	return clampGap(float64(time.Second) / perSecond)
+}
+
+// ---------------------------------------------------------------------------
+// Think time.
+
+// Think is a deterministic stream of editor think-time gaps, uniform in
+// [Min, Max]. It exists so drivers stop inlining their own
+// rng-to-duration arithmetic: the gaps feed Clock.Sleep directly, and
+// constructing them here keeps the conversion in one lint-covered,
+// overflow-safe place.
+type Think struct {
+	rng      *rand.Rand
+	min, max time.Duration
+}
+
+// NewThink creates a think-time stream (min/max swapped if reversed;
+// both clamped to [0, MaxGap]).
+func NewThink(min, max time.Duration, seed int64) *Think {
+	if min > max {
+		min, max = max, min
+	}
+	if min < 0 {
+		min = 0
+	}
+	if max > MaxGap {
+		max = MaxGap
+	}
+	return &Think{rng: rand.New(rand.NewSource(seed)), min: min, max: max}
+}
+
+// Next draws the next gap.
+func (t *Think) Next() time.Duration {
+	if t.max <= t.min {
+		return t.min
+	}
+	return t.min + time.Duration(t.rng.Int63n(int64(t.max-t.min)+1))
+}
+
+// ---------------------------------------------------------------------------
+// Plan-driven session construction.
+
+// SessionSpec describes one editing session declaratively — the typed
+// parameters a plan file carries — and builds its generators.
+type SessionSpec struct {
+	// Site identifies the editing site (patch attribution).
+	Site string
+	// StartLen is the document length the editor assumes at start.
+	StartLen int
+	// DeleteFraction is the probability an edit deletes instead of
+	// inserting (Editor semantics; 0 = insert-only).
+	DeleteFraction float64
+	// ThinkMin/ThinkMax bound the uniform think-time gap between edits.
+	ThinkMin, ThinkMax time.Duration
+}
+
+// Build derives the session's deterministic generators from one seed:
+// the edit stream and the think-time stream (decorrelated so changing
+// the edit mix does not shift the schedule).
+func (s SessionSpec) Build(seed int64) (*Editor, *Think) {
+	ed := NewEditor(s.Site, s.StartLen, seed)
+	ed.DeleteFraction = s.DeleteFraction
+	return ed, NewThink(s.ThinkMin, s.ThinkMax, seed^0x5DEECE66D)
 }
