@@ -1,0 +1,330 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockparkAnalyzer mechanizes the PR 5 manual audit: no sync.Mutex or
+// sync.RWMutex may be held across a call that can park the virtual
+// timeline.
+//
+// Under vclock.Virtual, a goroutine that parks (Clock.Sleep, a channel
+// op waiting on a scheduled event, an RPC through the simulated
+// network) hands the timeline to the scheduler. If it parks while
+// holding a sync lock, every other goroutine queued on that lock is
+// blocked OUTSIDE the scheduler's view: best case the schedule warps in
+// a loss-rate-dependent way, worst case the run deadlocks because the
+// only runnable goroutine is an untracked lock waiter. vclock.Mutex is
+// the one lock that may legally be held across a park — it is
+// scheduler-aware and hands off at quiescence — so it is exempt (and
+// acquiring it is itself treated as a parking call).
+//
+// A call is considered parking when it is (a) a channel operation,
+// (b) one of the vclock primitives Sleep/Gather/Block/Wait/Lock, (c) a
+// context-taking function or method of another package in this module —
+// the signature shape of everything that reaches the simulated network
+// (Ring.Call, dht.Client puts, p2plog fetches, KTS RPCs) — or (d) a
+// same-package function that transitively parks, resolved by a bounded
+// call-graph walk (depth 4).
+//
+// Escape hatch: // lint:allow-lockpark on the parking call (or the
+// Lock line), with a comment saying why the hold is safe.
+var LockparkAnalyzer = &Analyzer{
+	Name: "lockpark",
+	Doc: "sync.Mutex held across a call that may park the virtual timeline\n\n" +
+		"Flags Lock/RLock intervals of sync.Mutex/RWMutex spanning channel\n" +
+		"ops, vclock Sleep/Gather/Block/Wait, or module calls that reach the\n" +
+		"simulated network; vclock.Mutex is exempt.\n" +
+		"Escape hatch: // lint:allow-lockpark",
+	Run: runLockpark,
+}
+
+// lockparkDepth bounds the same-package call-graph walk.
+const lockparkDepth = 4
+
+// nonParkingCtxFuncs lists module functions that take a context.Context
+// but never park: they only read or stamp the context value.
+var nonParkingCtxFuncs = map[string]bool{
+	ModulePath + "/internal/trace.FromContext": true,
+	ModulePath + "/internal/trace.NewContext":  true,
+}
+
+// vclockParkMethods are the vclock primitives that park (or may park)
+// the calling goroutine.
+var vclockParkMethods = map[string]bool{
+	"Sleep":  true,
+	"Gather": true,
+	"Block":  true,
+	"Wait":   true, // Ticker.Wait
+	"Lock":   true, // vclock.Mutex queues under the scheduler
+}
+
+type lockparkPass struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func]string // "" = does not park; else reason
+}
+
+func runLockpark(pass *Pass) error {
+	files := pass.instrumentedFiles()
+	if len(files) == 0 {
+		return nil
+	}
+	lp := &lockparkPass{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*types.Func]string),
+	}
+	// Index every function declared in this package (across all files,
+	// including excluded test files: a helper defined in a test could
+	// still be called — harmless to index).
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					lp.decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					lp.checkBody(fn.Body)
+				}
+			case *ast.FuncLit:
+				lp.checkBody(fn.Body)
+				return false // checkBody recurses into nested literals
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockEvent is one Lock/Unlock call observed in textual order.
+type lockEvent struct {
+	key      string // receiver expression + R/W mode
+	pos      token.Pos
+	unlock   bool
+	deferred bool
+}
+
+// parkSite is one potentially-parking operation in a body.
+type parkSite struct {
+	pos    token.Pos
+	reason string
+}
+
+// checkBody scans one function body linearly: it collects sync lock
+// intervals (Lock → matching Unlock, or the body end for deferred and
+// unmatched unlocks) and reports every parking operation whose position
+// falls inside one. Nested function literals are scanned separately —
+// their statements execute on another goroutine or at another time, not
+// inside the enclosing lock interval (a literal that is invoked
+// synchronously is reached through its call, which rule (c) or (d)
+// classifies).
+func (lp *lockparkPass) checkBody(body *ast.BlockStmt) {
+	var locks []lockEvent
+	var parks []parkSite
+	lp.scanAtDepth(body, lockparkDepth, &locks, &parks)
+	if len(locks) == 0 || len(parks) == 0 {
+		// Still descend into nested literals for their own intervals.
+		lp.scanNested(body)
+		return
+	}
+	sort.Slice(parks, func(i, j int) bool { return parks[i].pos < parks[j].pos })
+	for i, lk := range locks {
+		if lk.unlock {
+			continue
+		}
+		end := body.End()
+		for _, other := range locks[i+1:] {
+			if other.unlock && !other.deferred && other.key == lk.key {
+				end = other.pos
+				break
+			}
+		}
+		for _, pk := range parks {
+			if pk.pos <= lk.pos || pk.pos >= end {
+				continue
+			}
+			if lp.pass.Allowed(pk.pos, "lint:allow-lockpark") ||
+				lp.pass.Allowed(lk.pos, "lint:allow-lockpark") {
+				continue
+			}
+			lp.pass.Reportf(pk.pos,
+				"%s is held across %s, which may park the virtual timeline: release the lock first, or use vclock.Mutex (scheduler-aware) if the hold is required; tag // lint:allow-lockpark if provably safe",
+				lk.key, pk.reason)
+		}
+	}
+	lp.scanNested(body)
+}
+
+// scanNested runs checkBody on every function literal directly nested
+// in body (each literal gets its own interval analysis).
+func (lp *lockparkPass) scanNested(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lp.checkBody(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// scanAtDepth walks body in textual order, skipping nested function
+// literals, and records lock events and park sites; depth frames of
+// same-package callees remain for the transitive walk.
+func (lp *lockparkPass) scanAtDepth(body *ast.BlockStmt, depth int, locks *[]lockEvent, parks *[]parkSite) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if key, unlock, ok := lp.syncLockCall(n.Call); ok && unlock {
+				*locks = append(*locks, lockEvent{key: key, pos: n.Pos(), unlock: true, deferred: true})
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if key, unlock, ok := lp.syncLockCall(n); ok {
+				*locks = append(*locks, lockEvent{key: key, pos: n.Pos(), unlock: unlock})
+				return true
+			}
+			if reason := lp.callParks(n, depth); reason != "" {
+				*parks = append(*parks, parkSite{pos: n.Pos(), reason: reason})
+			}
+			return true
+		case *ast.SendStmt:
+			*parks = append(*parks, parkSite{pos: n.Pos(), reason: "a channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				*parks = append(*parks, parkSite{pos: n.Pos(), reason: "a channel receive"})
+			}
+		case *ast.SelectStmt:
+			*parks = append(*parks, parkSite{pos: n.Pos(), reason: "a select"})
+			// Communication clauses of the select are parking already;
+			// still descend for lock events in clause bodies.
+		case *ast.RangeStmt:
+			if t := lp.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					*parks = append(*parks, parkSite{pos: n.Pos(), reason: "a channel range"})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// syncLockCall classifies a call as a sync.Mutex/RWMutex Lock or Unlock
+// (in either R or W mode), returning a stable key naming the locked
+// expression. vclock.Mutex resolves to package vclock, not sync, so it
+// never matches here.
+func (lp *lockparkPass) syncLockCall(call *ast.CallExpr) (key string, unlock, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", false, false
+	}
+	fn, fnOK := lp.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !fnOK || pkgPathOf(fn) != "sync" {
+		return "", false, false
+	}
+	mode := "sync lock " + types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "Unlock":
+		return mode, fn.Name() == "Unlock", true
+	case "RLock", "RUnlock":
+		return mode + " (read)", fn.Name() == "RUnlock", true
+	}
+	return "", false, false
+}
+
+// callParks classifies one call expression, following same-package
+// callees up to depth frames deep.
+func (lp *lockparkPass) callParks(call *ast.CallExpr, depth int) string {
+	fn := lp.pass.funcObj(call)
+	if fn == nil {
+		return "" // builtin, conversion, or dynamic function value
+	}
+	path := pkgPathOf(fn)
+	// (b) vclock primitives.
+	if path == ModulePath+"/internal/vclock" {
+		if vclockParkMethods[fn.Name()] {
+			return fmt.Sprintf("%s.%s (a vclock parking primitive)", shortPkg(path), fn.Name())
+		}
+		return ""
+	}
+	// (c) context-taking module calls reach the simulated network.
+	if strings.HasPrefix(path, ModulePath+"/") && path != lp.pass.Pkg.Path() {
+		if takesContext(fn) && !nonParkingCtxFuncs[path+"."+fn.Name()] {
+			return fmt.Sprintf("%s.%s (context-taking module call that may reach the network)", shortPkg(path), fn.Name())
+		}
+		return ""
+	}
+	// (d) same-package transitive walk.
+	if path == lp.pass.Pkg.Path() && depth > 0 {
+		if reason := lp.funcParks(fn, depth); reason != "" {
+			return fmt.Sprintf("%s (which parks via %s)", fn.Name(), reason)
+		}
+	}
+	return ""
+}
+
+// funcParks reports whether a same-package function transitively
+// performs a parking operation, memoized across the pass.
+func (lp *lockparkPass) funcParks(fn *types.Func, depth int) string {
+	if reason, seen := lp.memo[fn]; seen {
+		return reason
+	}
+	decl := lp.decls[fn]
+	if decl == nil {
+		return ""
+	}
+	// Break cycles: while computing, treat as non-parking. scan's own
+	// call classification recurses back here for the callee's callees,
+	// one frame shallower.
+	lp.memo[fn] = ""
+	var locks []lockEvent
+	var parks []parkSite
+	lp.scanAtDepth(decl.Body, depth-1, &locks, &parks)
+	reason := ""
+	if len(parks) > 0 {
+		sort.Slice(parks, func(i, j int) bool { return parks[i].pos < parks[j].pos })
+		reason = parks[0].reason
+	}
+	lp.memo[fn] = reason
+	return reason
+}
+
+// takesContext reports whether any parameter of fn has static type
+// context.Context.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named, ok := sig.Params().At(i).Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawgoAnalyzer enforces the goroutine-admission invariant: in
+// instrumented packages, goroutines spawn through clock.Go (or the
+// Gather fork-join), never a bare `go` statement, and joins never block
+// on sync.WaitGroup.Wait.
+//
+// The virtual scheduler can only advance time when it knows every
+// participating goroutine is parked. A bare `go` creates a goroutine
+// the scheduler cannot see: if it sleeps or waits, the clock deadlocks
+// or — worse — keeps advancing while the stray goroutine races it on
+// OS timing, which is a silent determinism divergence. WaitGroup.Wait
+// is the join-side version of the same bug, with a regression behind
+// it: chord.stop()'s plain wg.Wait froze the virtual timeline (run
+// loops queued on a vclock.Mutex never got their quiescence handoff),
+// and wrapping it as Block(wg.Wait) left an OS-timing race at the
+// reattach that broke bitwise determinism — PR 4/5 replaced both
+// shapes with Clock.Gather.
+//
+// Escape hatch: // lint:allow-rawgo on (or directly above) the line,
+// with a comment saying why OS-scheduled concurrency is safe there
+// (for example, the real-network tcpnet transport, which is outside
+// the deterministic regime by design).
+var RawgoAnalyzer = &Analyzer{
+	Name: "rawgo",
+	Doc: "bare go statements / WaitGroup.Wait in instrumented packages\n\n" +
+		"Goroutines must spawn via clock.Go or clock.Gather so the virtual\n" +
+		"scheduler tracks them; joins must use Gather, not WaitGroup.Wait.\n" +
+		"Escape hatch: // lint:allow-rawgo",
+	Run: runRawgo,
+}
+
+func runRawgo(pass *Pass) error {
+	for _, f := range pass.instrumentedFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if pass.Allowed(n.Pos(), "lint:allow-rawgo") {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"bare go statement in an instrumented package: spawn through clock.Go (or clock.Gather for fork-join) so the virtual scheduler tracks the goroutine, or tag // lint:allow-rawgo with why OS scheduling is safe")
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || pkgPathOf(fn) != "sync" || fn.Name() != "Wait" {
+					return true
+				}
+				if recv := fn.Type().(*types.Signature).Recv(); recv == nil ||
+					!isSyncType(recv.Type(), "WaitGroup") {
+					return true
+				}
+				if pass.Allowed(n.Pos(), "lint:allow-rawgo") {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"sync.WaitGroup.Wait in an instrumented package: the virtual clock cannot see this join (it froze the timeline in chord.stop, and Block(wg.Wait) races the last worker's exit) — use clock.Gather, or tag // lint:allow-rawgo with why it is safe")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncType reports whether t is sync.<name> or *sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

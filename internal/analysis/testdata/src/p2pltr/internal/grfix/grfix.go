@@ -1,0 +1,40 @@
+// Package grfix exercises the globalrand analyzer: global draws from
+// math/rand and math/rand/v2, the seeded-stream constructors, and the
+// escape hatch.
+package grfix
+
+import (
+	"math/rand"
+	rv2 "math/rand/v2"
+)
+
+func bad() int {
+	return rand.Intn(10) // want `global math/rand draw`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle`
+}
+
+func badV2() int {
+	return rv2.IntN(10) // want `rand\.IntN`
+}
+
+// okSeeded: constructors and methods on the seeded stream are the
+// sanctioned API.
+func okSeeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func okSeededV2() uint64 {
+	r := rv2.New(rv2.NewPCG(1, 2))
+	return r.Uint64()
+}
+
+// okTagged: audited unseeded draw.
+func okTagged() int {
+	// Connection-retry jitter on the real-network path; never replayed.
+	// lint:allow-globalrand
+	return rand.Intn(10)
+}

@@ -1,0 +1,8 @@
+// Package wcexempt sits under internal/harness, an excluded path: the
+// same call that fires in wcfix must produce nothing here, so this file
+// deliberately carries no want comments.
+package wcexempt
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,101 @@
+// Package lpfix exercises the lockpark analyzer: every park class under
+// a held sync lock, the vclock.Mutex exemption, the release-first and
+// function-literal non-findings, and the escape hatch.
+package lpfix
+
+import (
+	"context"
+	"sync"
+
+	"p2pltr/internal/trace"
+	"p2pltr/internal/transport"
+	"p2pltr/internal/vclock"
+)
+
+type S struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	vmu   *vclock.Mutex
+	clock vclock.Clock
+	ch    chan int
+}
+
+func (s *S) badSleep(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.clock.Sleep(ctx, 1) // want `vclock parking primitive`
+}
+
+func (s *S) badRPCUnderRLock(ctx context.Context) {
+	s.rw.RLock()
+	_, _ = transport.Call(ctx, "a", nil) // want `context-taking module call`
+	s.rw.RUnlock()
+}
+
+func (s *S) badChanRecv() {
+	s.mu.Lock()
+	<-s.ch // want `channel receive`
+	s.mu.Unlock()
+}
+
+func (s *S) badChanSend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `channel send`
+}
+
+func (s *S) badTransitive(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.helper(ctx) // want `parks via`
+}
+
+// helper is same-package: rule (d) must walk into it and find the RPC.
+func (s *S) helper(ctx context.Context) {
+	_, _ = transport.Call(ctx, "a", nil)
+}
+
+func (s *S) badVclockAcquire() {
+	s.mu.Lock()
+	s.vmu.Lock() // want `vclock parking primitive`
+	s.vmu.Unlock()
+	s.mu.Unlock()
+}
+
+// okReleaseFirst: the park happens after the interval closes.
+func (s *S) okReleaseFirst(ctx context.Context) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	_, _ = transport.Call(ctx, "a", nil)
+}
+
+// okVclockMutex: the scheduler-aware lock may be held across a park.
+func (s *S) okVclockMutex(ctx context.Context) {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	_ = s.clock.Sleep(ctx, 1)
+}
+
+// okTrace: FromContext takes a context but only reads its value.
+func (s *S) okTrace(ctx context.Context) *trace.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return trace.FromContext(ctx)
+}
+
+// okLiteral: the literal runs on another goroutine or later — its body
+// is not inside this interval.
+func (s *S) okLiteral(ctx context.Context) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() { _, _ = transport.Call(ctx, "a", nil) }
+}
+
+// okTagged: audited hold, escape hatch in the rationale block.
+func (s *S) okTagged(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The callee only parks on a cancelled context, which this caller
+	// never passes. lint:allow-lockpark
+	_, _ = transport.Call(ctx, "a", nil)
+}

@@ -1,0 +1,80 @@
+// Package mifix exercises the mapiter analyzer: order-dependent effects
+// in map ranges, the collect-then-sort discharges (stdlib and
+// same-package helper), commutative bodies, and the escape hatch.
+package mifix
+
+import (
+	"context"
+	"sort"
+
+	"p2pltr/internal/transport"
+)
+
+func badRPC(ctx context.Context, m map[string]int) {
+	for k := range m { // want `transport\.Call`
+		_, _ = transport.Call(ctx, transport.Addr(k), nil)
+	}
+}
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want `channel send`
+		ch <- k
+	}
+}
+
+func okSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// okHelperSorted: the sort happens inside a same-package helper that
+// visibly sorts its parameter (the store.sortEntries shape).
+func okHelperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(ks []string) { sort.Strings(ks) }
+
+// okCommutative: call-free aggregation cannot observe order.
+func okCommutative(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// okMapBuild: a map built from a map is order-free by type.
+func okMapBuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// okTagged: audited loop, escape hatch in the rationale block.
+func okTagged(ctx context.Context, m map[string]int) {
+	// Each target is notified exactly once and the protocol carries no
+	// ordering. lint:unordered-ok
+	for k := range m {
+		_, _ = transport.Call(ctx, transport.Addr(k), nil)
+	}
+}

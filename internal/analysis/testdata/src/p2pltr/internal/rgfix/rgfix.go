@@ -1,0 +1,39 @@
+// Package rgfix exercises the rawgo analyzer: bare go statements,
+// WaitGroup.Wait, the clock.Go/Gather legal spawns, and the escape
+// hatch.
+package rgfix
+
+import (
+	"sync"
+
+	"p2pltr/internal/vclock"
+)
+
+func badGo() {
+	go func() {}() // want `bare go statement`
+}
+
+func badWait(wg *sync.WaitGroup) {
+	wg.Wait() // want `WaitGroup\.Wait`
+}
+
+// okClockSpawn: the scheduler-tracked spawns.
+func okClockSpawn(c vclock.Clock) {
+	c.Go(func() {})
+	c.Gather(func() {})
+}
+
+// okCondWait: only WaitGroup's join is flagged — Cond.Wait releases its
+// lock while parked and has its own discipline.
+func okCondWait(c *sync.Cond) {
+	c.Wait()
+}
+
+// okTagged: audited OS-side spawn and join.
+func okTagged(wg *sync.WaitGroup) {
+	wg.Add(1)
+	// Worker pool over independent universes, wall-clock side only.
+	// lint:allow-rawgo
+	go wg.Done()
+	wg.Wait() // joins the tagged pool above; lint:allow-rawgo
+}

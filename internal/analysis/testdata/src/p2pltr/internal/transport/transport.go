@@ -1,0 +1,14 @@
+// Package transport is a typecheck-only stub: a context-taking module
+// function, the signature shape lockpark rule (c) classifies as a call
+// that may reach the simulated network.
+package transport
+
+import "context"
+
+// Addr names an endpoint.
+type Addr string
+
+// Call mirrors the real RPC entry point.
+func Call(ctx context.Context, to Addr, payload []byte) ([]byte, error) {
+	return nil, nil
+}

@@ -1,0 +1,32 @@
+// Package vclock is a typecheck-only stub of the real clock seam: just
+// enough surface for the analyzer fixtures to resolve the package path
+// and method names the lockpark/rawgo rules key on.
+package vclock
+
+import (
+	"context"
+	"time"
+)
+
+// Clock mirrors the parking-relevant subset of the real interface.
+type Clock interface {
+	Now() time.Time
+	Sleep(ctx context.Context, d time.Duration) error
+	Go(fn func())
+	Gather(fns ...func())
+	Block(fn func())
+}
+
+// Mutex mirrors the scheduler-aware lock; its Lock resolves to this
+// package, not sync, which is what exempts it from interval tracking
+// (and makes acquiring it count as a parking call).
+type Mutex struct{}
+
+// NewMutex mirrors the real constructor.
+func NewMutex(c Clock) *Mutex { return &Mutex{} }
+
+// Lock mirrors the parking acquire.
+func (m *Mutex) Lock() {}
+
+// Unlock mirrors the handoff release.
+func (m *Mutex) Unlock() {}

@@ -1,0 +1,9 @@
+// Package wcdot pins the dot-import case the old grep could never see:
+// an unqualified Now() that resolves to package time.
+package wcdot
+
+import . "time"
+
+func dotted() Time {
+	return Now() // want `time\.Now`
+}

@@ -1,0 +1,50 @@
+// Package wcfix exercises the wallclock analyzer: direct calls, aliased
+// imports, method values, the escape hatch, and the identifiers it must
+// leave alone.
+package wcfix
+
+import (
+	"time"
+	tm "time"
+)
+
+func bad() time.Time {
+	return time.Now() // want `time\.Now`
+}
+
+func aliased() {
+	tm.Sleep(time.Millisecond) // want `time\.Sleep`
+}
+
+func methodValue() func() time.Time {
+	return time.Now // want `time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since`
+}
+
+func ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker`
+}
+
+func allowedInline() time.Time {
+	return time.Now() // process start stamp for log filenames only; lint:allow-wallclock
+}
+
+func allowedAbove() time.Time {
+	// OS file mtimes are wall time by definition; virtual timelines
+	// never reach this helper. lint:allow-wallclock
+	return time.Now()
+}
+
+// Now is this package's own identifier: resolution is type-based, so it
+// must not fire.
+func Now() int { return 0 }
+
+func ownNow() int { return Now() }
+
+// okDate: time functions that do not read the OS clock stay legal.
+func okDate() time.Time {
+	return time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` unit-checker protocol on
+// the standard library alone (the x/tools unitchecker is not available
+// in this module's dependency-free build). The contract, reverse
+// engineered from cmd/go (`go vet -n` prints the generated vet.cfg):
+//
+//   - `tool -V=full` prints "<progname> version ..." and exits; cmd/go
+//     hashes the line into the build-cache key, so it must change when
+//     the binary does (we embed a digest of the executable).
+//   - `tool -flags` prints a JSON description of the tool's flags so
+//     cmd/go can validate analyzer flags passed on its command line.
+//   - `tool path/to/vet.cfg` analyzes ONE package: the JSON config
+//     carries the file set, the import map, and the export-data file of
+//     every dependency (compiled by cmd/go into the build cache), plus
+//     a facts-output path (VetxOutput) the tool must write — this suite
+//     needs no cross-package facts, so the file is written empty.
+//
+// Diagnostics go to stderr as file:line:col: message lines and the tool
+// exits 2, which cmd/go reports as a vet failure for the package.
+
+// vetConfig mirrors the JSON cmd/go writes to vet.cfg.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ModulePath   string
+	GoVersion    string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of cmd/p2pltr-vet: a multichecker over the
+// given analyzers speaking the go vet unit protocol. Passing one or
+// more analyzer-name flags (-wallclock, -lockpark, ...) restricts the
+// run to those analyzers, mirroring the x/tools multichecker.
+func Main(analyzers ...*Analyzer) {
+	progname := os.Args[0]
+	log.SetFlags(0)
+	log.SetPrefix("p2pltr-vet: ")
+
+	fs := flag.NewFlagSet("p2pltr-vet", flag.ExitOnError)
+	printVersion := fs.String("V", "", "print version and exit (cmd/go passes -V=full)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON and exit")
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		selected[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer: "+summary)
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s [-%s ...] ./...\n\nDeterminism-invariant analyzers:\n", progname, analyzers[0].Name)
+		for _, a := range analyzers {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, summary)
+		}
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	if *printVersion != "" {
+		if *printVersion != "full" {
+			log.Fatalf("unsupported flag value: -V=%s (use -V=full)", *printVersion)
+		}
+		printVersionLine(progname)
+		return
+	}
+	if *printFlags {
+		printFlagDefs(fs)
+		return
+	}
+
+	var enabled []*Analyzer
+	for _, a := range analyzers {
+		if *selected[a.Name] {
+			enabled = append(enabled, a)
+		}
+	}
+	if len(enabled) == 0 {
+		enabled = analyzers
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fs.Usage()
+		os.Exit(1)
+	}
+	diags, err := runUnit(args[0], enabled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+// printVersionLine implements -V=full: the output must be unique per
+// binary build, so the executable's own digest is embedded.
+func printVersionLine(progname string) {
+	digest := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			_, _ = io.Copy(h, f)
+			f.Close()
+			digest = fmt.Sprintf("%x", h.Sum(nil)[:16])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", progname, digest)
+}
+
+// printFlagDefs implements -flags: the JSON shape cmd/go parses to
+// learn which analyzer flags the tool accepts.
+func printFlagDefs(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var defs []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		defs = append(defs, jsonFlag{Name: f.Name, Bool: ok && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	data, err := json.Marshal(defs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// runUnit analyzes the single package described by the vet.cfg at
+// cfgPath, returning formatted diagnostics.
+func runUnit(cfgPath string, analyzers []*Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// The suite computes no cross-package facts, but cmd/go requires
+	// the facts file to exist for caching; write it first so even a
+	// facts-only invocation (a dependency visited for its exports)
+	// stays cheap.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	// Nothing in this unit can be instrumented: skip the typecheck
+	// entirely. This keeps `go vet -vettool` fast over examples/ and
+	// the excluded packages.
+	if !unitMayBeInstrumented(cfg.ImportPath) {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	tcfg := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		Error:     func(error) {}, // collect all; first error returned below
+	}
+	info := newTypesInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+	return runAnalyzers(analyzers, fset, files, pkg, info)
+}
+
+// unitMayBeInstrumented is the cheap pre-typecheck gate: the unit's
+// ImportPath (which for test variants looks like "pkg [pkg.test]" or
+// "pkg.test") is stripped to the underlying package path first.
+func unitMayBeInstrumented(importPath string) bool {
+	path, _, _ := strings.Cut(importPath, " ")
+	path = strings.TrimSuffix(path, ".test")
+	path = strings.TrimSuffix(path, "_test")
+	return Instrumented(path)
+}
+
+// runAnalyzers applies each analyzer to the loaded package and formats
+// the merged diagnostics in file/position order.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]string, error) {
+	type posDiag struct {
+		pos      token.Position
+		analyzer string
+		msg      string
+	}
+	var diags []posDiag
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			diags = append(diags, posDiag{pos: fset.Position(d.Pos), analyzer: a.Name, msg: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s: %s [%s]", d.pos, d.msg, d.analyzer)
+	}
+	return out, nil
+}
+
+// newTypesInfo allocates the full set of type-resolution maps the
+// analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

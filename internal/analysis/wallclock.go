@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockFuncs are the package-level time functions that read or
+// schedule against the OS clock. Referencing one — calling it, aliasing
+// it, passing it as a value — in an instrumented package bypasses the
+// vclock seam.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// WallclockAnalyzer is the AST-based replacement for the old
+// scripts/lint-wallclock.sh grep.
+//
+// Every timestamp on the commit pipeline (chord routing, DHT, KTS
+// validation, gateway batching, tracing, metrics) must flow through the
+// vclock.Clock seam: that is what makes traces and latency histograms
+// exact — and the whole stack bitwise-deterministic — under
+// vclock.Virtual. A stray time.Now() silently reads the OS clock
+// instead, which is invisible in tests on real time and a determinism
+// divergence under virtual time.
+//
+// Unlike the grep, resolution is type-based: aliased imports
+// (tm "time"), dot imports and time.Now passed as a method value are
+// all caught, while a local package's own Now identifier is not.
+//
+// Escape hatch for a genuine wall-clock need in an instrumented
+// package: put `// lint:allow-wallclock` on (or directly above) the
+// offending line, with a comment saying why wall time is really meant.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc: "direct wall-clock reads outside the vclock seam\n\n" +
+		"Flags any reference to time.Now/Since/Until/Sleep/After/AfterFunc/\n" +
+		"Tick/NewTicker/NewTimer in an instrumented package: use the\n" +
+		"injected vclock.Clock (or vclock.System at a package boundary).\n" +
+		"Escape hatch: // lint:allow-wallclock",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	for _, f := range pass.instrumentedFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || pkgPathOf(fn) != "time" || !wallclockFuncs[fn.Name()] {
+				return true
+			}
+			if pass.Allowed(id.Pos(), "lint:allow-wallclock") {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"direct wall-clock call time.%s in an instrumented package: use the injected vclock.Clock (or vclock.System at a package boundary), or tag the line with // lint:allow-wallclock if wall time is really meant",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"p2pltr/internal/checkpoint"
@@ -15,6 +14,7 @@ import (
 	"p2pltr/internal/patch"
 	"p2pltr/internal/trace"
 	"p2pltr/internal/transport"
+	"p2pltr/internal/vclock"
 	"p2pltr/internal/wal"
 )
 
@@ -51,7 +51,14 @@ type Replica struct {
 	key  string // document key (e.g. "Main.WebHome")
 	site string // author site identifier
 
-	mu          sync.Mutex
+	// mu serializes Commit/Pull against edits. It is a vclock.Mutex,
+	// not sync.Mutex, because Commit and Pull hold it across the whole
+	// RPC pipeline (admission, submit, retrieve, ack) — calls that park
+	// the virtual timeline under deterministic simulation. A plain
+	// sync.Mutex held across a park freezes every goroutine queued on
+	// it; vclock.Mutex hands off through the scheduler (and degrades to
+	// a plain mutex on the wall clock).
+	mu          *vclock.Mutex
 	committed   *patch.Document
 	committedTS uint64
 	tentative   []patch.Op
@@ -90,6 +97,7 @@ func NewReplica(peer *Peer, key, site string) *Replica {
 		peer:       peer,
 		key:        key,
 		site:       site,
+		mu:         vclock.NewMutex(peer.clock),
 		committed:  patch.NewDocument(""),
 		integrated: make(map[string]uint64),
 	}

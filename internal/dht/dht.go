@@ -295,6 +295,24 @@ func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Me
 			s.replicateToSucc([]msg.StateItem{{Service: ServiceName, Key: r.Key, ID: r.ID, Value: r.Value}})
 		}
 		return resp, true, nil
+	case *msg.DHTRehomeReq:
+		// Bulk stranded-primary migration: each item lands exactly as a
+		// DHTPutReq{IfAbsent: true} would — below-floor slots are acked
+		// without storing (the truncation sweep already reclaimed their
+		// prefix), occupied slots keep their occupant — and the stored
+		// remainder is pushed to the successor in one replica batch.
+		s.cPuts.Add(int64(len(r.Items)))
+		var stored []msg.StateItem
+		for _, it := range r.Items {
+			if s.belowFloor(it.Key) {
+				continue
+			}
+			if ok, _ := s.st.PutIfAbsent(it.ID, it.Key, it.Value); ok {
+				stored = append(stored, msg.StateItem{Service: ServiceName, Key: it.Key, ID: it.ID, Value: it.Value})
+			}
+		}
+		s.replicateToSucc(stored)
+		return &msg.DHTRehomeResp{Stored: len(stored)}, true, nil
 	case *msg.DHTReplicaPutReq:
 		s.cReplicaPuts.Add(int64(len(r.Items)))
 		for _, f := range r.Floors {
@@ -463,8 +481,13 @@ func (s *Service) Maintain(ctx context.Context) {
 	_, _ = rng.Call(cctx, transport.Addr(succ.Addr), &msg.DHTReplicaPutReq{Items: items, Floors: floors})
 }
 
-// rehomeBatch bounds how many stranded primaries one Maintain pass
-// re-homes, keeping the tick cheap; the remainder goes next pass.
+// rehomeBatch bounds how many routing consults (and hence owner
+// batches) one Maintain pass spends on re-homing, keeping the tick
+// cheap; the remainder goes next pass. The budget is per OWNER, not per
+// slot: the snapshot is ring-ordered and successor(k) is constant over
+// (consulted, owner.ID], so one FindSuccessor covers every following
+// stranded slot inside that arc and the whole group travels in a single
+// DHTRehomeReq.
 const rehomeBatch = 16
 
 // rehomeStranded migrates primaries this node no longer owns to their
@@ -473,44 +496,63 @@ const rehomeBatch = 16
 // routed through the healing window land on it; once the true
 // predecessor is re-adopted those slots are stranded — the healed ring
 // routes their keys elsewhere, so no read, refresh or promotion ever
-// finds them again. Each pass re-puts stranded slots at the current
-// routed owner (IfAbsent: a write-once slot the owner already holds, or
-// a fresher mutable record there, wins over our stale copy) and drops
-// the local primary once the owner has acknowledged.
+// finds them again. Each pass consults routing once per stranded owner
+// interval and bulk re-puts that interval's slots at the owner
+// (first-write-wins: a write-once slot the owner already holds, or a
+// fresher mutable record there, beats our stale copy), dropping local
+// primaries and their successor copies once the owner has acknowledged.
 func (s *Service) rehomeStranded(ctx context.Context) {
 	rng := s.ring()
 	if rng == nil {
 		return
 	}
 	self := rng.Ref()
-	moved := 0
+	var stranded []store.Entry
 	for _, e := range s.st.SnapshotAll() {
-		if moved >= rehomeBatch {
-			return
-		}
 		if s.belowFloor(e.Key) || rng.Owns(e.ID) {
 			continue
 		}
+		stranded = append(stranded, e)
+	}
+	var dropped []ids.ID
+	consults := 0
+	for i := 0; i < len(stranded) && consults < rehomeBatch; {
+		e := stranded[i]
+		consults++
 		owner, _, err := rng.FindSuccessor(ctx, e.ID)
 		if err != nil || owner.IsZero() || owner.Addr == string(self.Addr) {
 			// Routing still names this node (or cannot answer yet):
 			// ownership is in flux, keep the primary and retry next pass.
+			i++
 			continue
+		}
+		// Everything on the arc (e.ID, owner.ID] routes to the same
+		// owner, and the snapshot is ID-sorted, so extend the batch
+		// through the following slots inside it. (owner.ID == e.ID would
+		// degenerate to the full ring; a slot colliding with a node ID
+		// gets its own singleton batch instead.)
+		items := []msg.StateItem{{Service: ServiceName, Key: e.Key, ID: e.ID, Value: e.Value}}
+		j := i + 1
+		for owner.ID != e.ID && j < len(stranded) && ids.BetweenRightIncl(stranded[j].ID, e.ID, owner.ID) {
+			n := stranded[j]
+			items = append(items, msg.StateItem{Service: ServiceName, Key: n.Key, ID: n.ID, Value: n.Value})
+			j++
 		}
 		cctx, cancel := s.clk().WithTimeout(ctx, 2*time.Second)
-		resp, err := rng.Call(cctx, transport.Addr(owner.Addr), &msg.DHTPutReq{ID: e.ID, Key: e.Key, Value: e.Value, IfAbsent: true})
+		resp, err := rng.Call(cctx, transport.Addr(owner.Addr), &msg.DHTRehomeReq{Items: items})
 		cancel()
-		if err != nil {
-			continue
+		if err == nil {
+			if _, ok := resp.(*msg.DHTRehomeResp); ok {
+				for _, it := range items {
+					s.st.Delete(it.ID)
+					dropped = append(dropped, it.ID)
+				}
+				s.cRehomes.Add(int64(len(items)))
+			}
 		}
-		if _, ok := resp.(*msg.DHTPutResp); !ok {
-			continue
-		}
-		s.cRehomes.Add(1)
-		s.st.Delete(e.ID)
-		s.deleteFromSucc([]ids.ID{e.ID}, msg.TruncFloor{})
-		moved++
+		i = j
 	}
+	s.deleteFromSucc(dropped, msg.TruncFloor{})
 }
 
 // deriveFloors is the restart-durability pass for truncation floors.

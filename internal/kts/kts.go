@@ -163,6 +163,7 @@ func (s *Service) AdmissionQueueDepth() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var n int64
+	// Commutative sum: Load observes no order. lint:unordered-ok
 	for _, e := range s.entries {
 		n += e.inflight.Load()
 	}
@@ -505,6 +506,8 @@ func (s *Service) Maintain(ctx context.Context) {
 		tsID ids.ID
 	}
 	var owned []kv
+	// HashTS/Owns are pure filters and owned is sorted below before any
+	// RPC is issued, so map order is unobservable. lint:unordered-ok
 	for key := range s.entries {
 		tsID := ids.HashTS(key)
 		if s.ring.Owns(tsID) {
@@ -598,6 +601,8 @@ func (s *Service) ExportOutside(newPred, self ids.ID) []msg.StateItem {
 	}
 	s.mu.Lock()
 	picked := make([]kv, 0, len(s.entries))
+	// HashTS/BetweenRightIncl are pure filters and picked is sorted
+	// below before the handoff RPCs go out. lint:unordered-ok
 	for key, e := range s.entries {
 		tsID := ids.HashTS(key)
 		if ids.BetweenRightIncl(tsID, newPred, self) {
@@ -766,6 +771,8 @@ func (s *Service) KeyStates() []KeyState {
 func (s *Service) KeysHeld() map[string]bool {
 	s.mu.Lock()
 	keys := make([]string, 0, len(s.entries))
+	// Collected into a map below: the result is order-free by type, and
+	// Owns is a pure ring-interval test. lint:unordered-ok
 	for k := range s.entries {
 		keys = append(keys, k)
 	}

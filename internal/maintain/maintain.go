@@ -50,6 +50,7 @@ import (
 	"p2pltr/internal/msg"
 	"p2pltr/internal/p2plog"
 	"p2pltr/internal/transport"
+	"p2pltr/internal/vclock"
 )
 
 // ServiceName identifies the engine among a node's mounted services.
@@ -135,7 +136,10 @@ type Config struct {
 	// tests only).
 	DiscoverEvery time.Duration
 	// Now overrides the engine's clock; tests use it to drive the
-	// truncation rate limiter deterministically. Defaults to time.Now.
+	// truncation rate limiter deterministically. Defaults to
+	// vclock.System.Now — core.Peer always wires its own clock in, so
+	// the default only reaches standalone constructions, which must
+	// still not read the OS clock directly.
 	Now func() time.Time
 }
 
@@ -204,7 +208,7 @@ func NewEngine(cfg Config, ts *kts.Service, store *checkpoint.Store, log *p2plog
 		cfg.DiscoverEvery = 0
 	}
 	if cfg.Now == nil {
-		cfg.Now = time.Now
+		cfg.Now = vclock.System.Now
 	}
 	return &Engine{
 		cfg:         cfg,

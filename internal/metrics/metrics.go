@@ -308,6 +308,8 @@ func (f *Family) Snapshot() map[string]int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	out := make(map[string]int64, len(f.counters))
+	// Building a map from a map: order-free by type, Value is a pure
+	// atomic load. lint:unordered-ok
 	for name, c := range f.counters {
 		out[name] = c.Value()
 	}
@@ -320,6 +322,8 @@ func (f *Family) Merge(other *Family) {
 	if other == nil {
 		return
 	}
+	// Counter.Add is commutative, so merge order is unobservable.
+	// lint:unordered-ok
 	for name, v := range other.Snapshot() {
 		f.Counter(name).Add(v)
 	}

@@ -151,6 +151,25 @@ type DHTReplicaPutReq struct {
 	Floors []TruncFloor
 }
 
+// DHTRehomeReq batch-migrates stranded primaries to their routed
+// owner: the DHT maintenance pass's bulk equivalent of per-slot
+// DHTPutReq{IfAbsent: true} puts. Ownership over a contiguous ring
+// interval lets the sender resolve one FindSuccessor per owner and ship
+// every slot in that interval in a single request, so a node that
+// transiently absorbed a large range re-homes it in O(owners) RPCs, not
+// O(slots). Every item is stored first-write-wins, exactly like an
+// IfAbsent put.
+type DHTRehomeReq struct {
+	Items []StateItem
+}
+
+// DHTRehomeResp acknowledges a batch re-home. Stored counts the items
+// actually written (the rest already had an occupant, which wins); the
+// sender drops its stale copies either way.
+type DHTRehomeResp struct {
+	Stored int
+}
+
 // TruncFloor is one document key's truncation low-water mark: every log
 // slot of Key with timestamp <= TS has been reclaimed under a
 // fully-replicated checkpoint and must never be stored or promoted
@@ -349,6 +368,8 @@ func (DHTDeleteReq) Kind() string      { return "dht.delete.req" }
 func (DHTDeleteResp) Kind() string     { return "dht.delete.resp" }
 
 func (DHTReplicaDeleteReq) Kind() string    { return "dht.replica_delete.req" }
+func (DHTRehomeReq) Kind() string           { return "dht.rehome.req" }
+func (DHTRehomeResp) Kind() string          { return "dht.rehome.resp" }
 func (ValidateReq) Kind() string            { return "kts.validate.req" }
 func (ValidateResp) Kind() string           { return "kts.validate.resp" }
 func (LastTSReq) Kind() string              { return "kts.last_ts.req" }
@@ -375,6 +396,7 @@ func All() []Message {
 		&HandoverReq{}, &HandoverResp{}, &AbsorbReq{}, &StateTransferReq{},
 		&DHTPutReq{}, &DHTPutResp{}, &DHTReplicaPutReq{}, &DHTGetReq{}, &DHTGetResp{},
 		&DHTDeleteReq{}, &DHTDeleteResp{}, &DHTReplicaDeleteReq{},
+		&DHTRehomeReq{}, &DHTRehomeResp{},
 		&ValidateReq{}, &ValidateResp{},
 		&LastTSReq{}, &LastTSResp{}, &ReplicateTSReq{},
 		&CheckpointAnnounceReq{}, &CheckpointAnnounceResp{},

@@ -107,6 +107,8 @@ func (s *Store) ExtractOutside(newPred, self ids.ID) []Entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []Entry
+	// BetweenRightIncl is a pure ring-interval test and out is sorted
+	// below before the handover acts on it. lint:unordered-ok
 	for id, e := range s.m {
 		if !ids.BetweenRightIncl(id, newPred, self) {
 			out = append(out, e)
@@ -117,9 +119,10 @@ func (s *Store) ExtractOutside(newPred, self ids.ID) []Entry {
 	return out
 }
 
-// SnapshotMeta returns every entry's Key and ID with the Value left
-// nil: sweeps that only match on names (the DHT truncation-floor sweep)
-// would otherwise deep-copy the whole store's bytes per pass.
+// SnapshotMeta returns every entry's Key and ID, in ring order, with
+// the Value left nil: sweeps that only match on names (the DHT
+// truncation-floor sweep) would otherwise deep-copy the whole store's
+// bytes per pass.
 func (s *Store) SnapshotMeta() []Entry {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -127,6 +130,7 @@ func (s *Store) SnapshotMeta() []Entry {
 	for _, e := range s.m {
 		out = append(out, Entry{Key: e.Key, ID: e.ID})
 	}
+	sortEntries(out)
 	return out
 }
 
@@ -135,6 +139,8 @@ func (s *Store) SnapshotAll() []Entry {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]Entry, 0, len(s.m))
+	// cloneBytes is a pure copy and out is sorted below before any
+	// consumer sees it. lint:unordered-ok
 	for _, e := range s.m {
 		e.Value = cloneBytes(e.Value)
 		out = append(out, e)

@@ -56,6 +56,9 @@ func ListenTCP(bind string) (*TCPEndpoint, error) {
 		inbound: make(map[net.Conn]struct{}),
 	}
 	e.wg.Add(1)
+	// lint:allow-rawgo — tcpnet is the real-socket transport: it exists
+	// to run on the OS network and wall clock, outside the deterministic
+	// regime (simulations use memnet). Same for every tag below.
 	go e.acceptLoop()
 	return e, nil
 }
@@ -84,6 +87,8 @@ func (e *TCPEndpoint) acceptLoop() {
 			return // listener closed
 		}
 		e.wg.Add(1)
+		// lint:allow-rawgo — real-socket transport, outside the
+		// deterministic regime.
 		go func() {
 			defer e.wg.Done()
 			e.serveConn(c)
@@ -115,6 +120,8 @@ func (e *TCPEndpoint) serveConn(c net.Conn) {
 		if err := dec.Decode(&env); err != nil {
 			return // peer hung up or stream corrupt
 		}
+		// lint:allow-rawgo — real-socket transport: handler dispatch
+		// rides OS concurrency by design.
 		go func(env envelope) {
 			h := e.handler()
 			resp := envelope{Seq: env.Seq, IsResp: true, From: string(e.addr)}
@@ -153,6 +160,8 @@ func (tc *tcpConn) fail() {
 	}
 	tc.dead = true
 	tc.c.Close()
+	// lint:unordered-ok — every pending caller is woken exactly once;
+	// wake order is invisible on a real network anyway.
 	for seq, ch := range tc.pending {
 		close(ch)
 		delete(tc.pending, seq)
@@ -209,6 +218,8 @@ func (e *TCPEndpoint) getConn(ctx context.Context, to Addr) (*tcpConn, error) {
 	}
 	e.conns[to] = tc
 	e.mu.Unlock()
+	// lint:allow-rawgo — real-socket transport, outside the
+	// deterministic regime.
 	go tc.readLoop()
 	return tc, nil
 }
@@ -267,18 +278,24 @@ func (e *TCPEndpoint) Close() error {
 	conns := e.conns
 	e.conns = map[Addr]*tcpConn{}
 	inbound := make([]net.Conn, 0, len(e.inbound))
+	// lint:unordered-ok — teardown: each conn is closed exactly once,
+	// order immaterial.
 	for c := range e.inbound {
 		inbound = append(inbound, c)
 	}
 	e.mu.Unlock()
 
 	err := e.ln.Close()
+	// lint:unordered-ok — teardown: each conn fails exactly once, order
+	// immaterial.
 	for _, tc := range conns {
 		tc.fail()
 	}
 	for _, c := range inbound {
 		c.Close()
 	}
+	// lint:allow-rawgo — joins OS goroutines of the real-socket
+	// transport; no virtual timeline exists here.
 	e.wg.Wait()
 	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
 		return err
