@@ -47,7 +47,7 @@ func main() {
 		doMaint   = flag.Bool("maintain", false, "run the self-healing maintenance engine for mastered keys")
 		truncGap  = flag.Duration("truncate-every", maintain.DefaultTruncateEvery, "minimum spacing between automatic log truncations per key (with -maintain)")
 		admission = flag.Int("admission-limit", 0, "max validators queued per hot key before shedding with retry-after (0 = unlimited)")
-		metrics   = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text) and /trace (recent commit-pipeline spans); empty = off")
+		metrics   = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text), /trace (recent commit-pipeline spans) and /events (flight-recorder lifecycle events); empty = off")
 	)
 	flag.Parse()
 
@@ -59,7 +59,12 @@ func main() {
 	var tracer *trace.Tracer
 	if *metrics != "" {
 		tracer = trace.New(nil, 512) // system clock
+		tracer.SetOrigin(*listen)
 		opts.Tracer = tracer
+		// The flight recorder backs the /events view: the last lifecycle
+		// events (ring membership, grants, re-homes, checkpoints) of this
+		// peer, each stamped with the trace ID active when it happened.
+		opts.FlightRecorder = 512
 	}
 	if *doMaint {
 		if *ckptEvery == 0 {
@@ -97,6 +102,29 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = reg.WritePrometheus(w)
 		})
+		mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+			n := 64
+			if s := r.URL.Query().Get("n"); s != "" {
+				if v, err := strconv.Atoi(s); err == nil && v > 0 {
+					n = v
+				}
+			}
+			evs := peer.Flight.Events()
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "flight recorder: %d events recorded, %d dropped from the ring\n",
+				peer.Flight.Total(), peer.Flight.Dropped())
+			if len(evs) > n {
+				evs = evs[len(evs)-n:]
+			}
+			for _, ev := range evs {
+				tr := "-"
+				if ev.Trace != 0 {
+					tr = fmt.Sprintf("%016x", ev.Trace)
+				}
+				fmt.Fprintf(w, "%s  %-16s %-24s trace %s  %s\n",
+					ev.T.Format(time.RFC3339Nano), ev.Kind, ev.Key, tr, ev.Detail)
+			}
+		})
 		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 			n := 32
 			if s := r.URL.Query().Get("n"); s != "" {
@@ -112,7 +140,7 @@ func main() {
 			tracer.StageSummary(w)
 		})
 		go func() {
-			fmt.Printf("metrics on http://%s/metrics, traces on http://%s/trace\n", *metrics, *metrics)
+			fmt.Printf("metrics on http://%s/metrics, traces on http://%s/trace, lifecycle events on http://%s/events\n", *metrics, *metrics, *metrics)
 			if err := http.ListenAndServe(*metrics, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "metrics server:", err)
 			}

@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	p2pltr-sim run    -plan e12 [-seed 7] [-short] [-out result.json]
-//	p2pltr-sim sweep  -plan examples/plans/e12.json -seeds 256 [-workers 8] [-short]
-//	p2pltr-sim shrink -plan broken.json -seed 3 [-max-runs 100] -out repro.json
-//	p2pltr-sim plan   -plan e12 [-short]
+//	p2pltr-sim run     -plan e12 [-seed 7] [-short] [-out result.json]
+//	p2pltr-sim sweep   -plan examples/plans/e12.json -seeds 256 [-workers 8] [-short]
+//	p2pltr-sim shrink  -plan broken.json -seed 3 [-max-runs 100] -out repro.json
+//	p2pltr-sim explain -plan repro.json -seed 3 [-out forensics.json]
+//	p2pltr-sim plan    -plan e12 [-short]
 //
 // -plan resolves a file path first, then a builtin name ("e12"). `run`
 // exits 1 when an invariant fails, `sweep` when any seed fails; `shrink`
-// exits 0 once it has written a still-failing minimal repro.
+// exits 0 once it has written a still-failing minimal repro. `explain`
+// reruns a failing (plan, seed) pair and prints its forensics bundle —
+// the causal slice of flight-recorder events and cross-peer spans
+// around the violating keys; it exits 1 when the plan passes (nothing
+// to explain).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"p2pltr/internal/simtest"
 )
@@ -37,6 +43,8 @@ func main() {
 		os.Exit(cmdSweep(args))
 	case "shrink":
 		os.Exit(cmdShrink(args))
+	case "explain":
+		os.Exit(cmdExplain(args))
 	case "plan":
 		os.Exit(cmdPlan(args))
 	default:
@@ -46,7 +54,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: p2pltr-sim <run|sweep|shrink|plan> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: p2pltr-sim <run|sweep|shrink|explain|plan> [flags]")
 }
 
 // loadPlan resolves -plan as a file path first, then a builtin name.
@@ -207,6 +215,80 @@ func cmdShrink(args []string) int {
 	} else {
 		b, _ := rep.Minimal.Marshal()
 		os.Stdout.Write(b)
+	}
+	return 0
+}
+
+// cmdExplain reruns a failing (plan, seed) pair deterministically and
+// prints the forensics bundle: the violated checks, the keys they
+// attribute the failure to, and the causal slice of flight-recorder
+// events and cross-peer spans around those keys.
+func cmdExplain(args []string) int {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	planName := fs.String("plan", "", "plan file or builtin name")
+	seed := fs.Int64("seed", -1, "seed override (default: the plan's seed)")
+	short := fs.Bool("short", false, "apply the plan's short override")
+	out := fs.String("out", "", "write the forensics bundle as JSON to this file")
+	fs.Parse(args)
+	plan, err := loadPlan(*planName, *short)
+	if err != nil {
+		return fail(err)
+	}
+	s := plan.Seed
+	if *seed >= 0 {
+		s = *seed
+	}
+	res := simtest.Run(plan, s)
+	if res.Pass() {
+		fmt.Printf("plan %s seed %d passes; nothing to explain\n", plan.Name, s)
+		return 1
+	}
+	f := res.Forensics
+	if f == nil {
+		// Only a structurally broken plan ("run" check) fails before the
+		// forensics assembler runs; its violations still print.
+		for _, c := range res.Violations() {
+			fmt.Printf("FAIL %-16s %s\n", c.Name, c.Detail)
+		}
+		fmt.Println("no forensics bundle (run failed before the invariant suite)")
+		return 0
+	}
+	epoch := time.Unix(0, 0).UTC()
+	fmt.Printf("plan %s seed %d: %d violation(s), keys %v\n", plan.Name, s, len(f.Violations), f.Keys)
+	for _, c := range f.Violations {
+		key := c.Key
+		if key == "" {
+			key = "-"
+		}
+		fmt.Printf("FAIL %-16s key %-8s %s\n", c.Name, key, c.Detail)
+	}
+	fmt.Printf("\ncausal slice: %d of %d flight-recorder events\n", len(f.Slice), len(res.FlightEvents))
+	for _, ev := range f.Slice {
+		tr := "-"
+		if ev.Trace != 0 {
+			tr = fmt.Sprintf("%016x", ev.Trace)
+		}
+		fmt.Printf("  %-14s %-10s %-16s %-10s trace %s  %s\n",
+			ev.T.Sub(epoch), ev.Peer, ev.Kind, ev.Key, tr, ev.Detail)
+	}
+	fmt.Printf("\ncross-peer spans touching the slice: %d\n", len(f.Spans))
+	for _, sp := range f.Spans {
+		peer := sp.Peer
+		if peer == "" {
+			peer = "(origin)"
+		}
+		errs := ""
+		if sp.Err != "" {
+			errs = "  err=" + sp.Err
+		}
+		fmt.Printf("  %-14s %-10s %-10s %-10s trace %016x hop %d  %s%s\n",
+			sp.Start.Sub(epoch), peer, sp.Kind, sp.Key, sp.Trace, sp.Hops, sp.End.Sub(sp.Start), errs)
+	}
+	if *out != "" {
+		if err := writeJSON(*out, f); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("\nforensics bundle written to %s\n", *out)
 	}
 	return 0
 }

@@ -266,6 +266,10 @@ func TestInstrumented(t *testing.T) {
 	}{
 		{ModulePath + "/internal/core", true},
 		{ModulePath + "/internal/dht", true},
+		// The flight recorder claims determinism for its event streams,
+		// so it must sit inside the vetted set.
+		{ModulePath + "/internal/flightrec", true},
+		{ModulePath + "/internal/trace", true},
 		{ModulePath + "/cmd/p2pltr-sim", true},
 		{ModulePath + "/cmd/p2pltr-bench", false},
 		{ModulePath + "/internal/vclock", false},

@@ -28,9 +28,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2pltr/internal/flightrec"
 	"p2pltr/internal/ids"
 	"p2pltr/internal/metrics"
 	"p2pltr/internal/msg"
+	"p2pltr/internal/trace"
 	"p2pltr/internal/transport"
 	"p2pltr/internal/vclock"
 )
@@ -206,6 +208,17 @@ type Node struct {
 	evictObsMu sync.Mutex
 	evictObs   []func(dead msg.NodeRef)
 
+	// tracer, when set, opens a server-side child span around every
+	// dispatched RPC that arrived with a propagated trace context; rec,
+	// when set, records ring-lifecycle events (join, suspect, evict,
+	// handover, absorb) into the peer's flight recorder. Both are
+	// wiring-time configuration (SetTracer/SetRecorder before
+	// Create/Join), guarded by obsMu only so the setters are safe to
+	// call from tests after construction.
+	obsMu  sync.RWMutex
+	tracer *trace.Tracer
+	rec    *flightrec.Recorder
+
 	// counters is the exportable routing metric family; the members below
 	// are cached at construction so hot paths skip the family map lookup.
 	counters        *metrics.Family
@@ -214,6 +227,38 @@ type Node struct {
 	cLookupFailures *metrics.Counter
 	cStrikes        *metrics.Counter
 	cEvictions      *metrics.Counter
+}
+
+// SetTracer installs the tracer that opens server-side child spans
+// around dispatched RPCs carrying a propagated trace context. Wiring-
+// time configuration: call before Create/Join.
+func (n *Node) SetTracer(t *trace.Tracer) {
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	n.tracer = t
+}
+
+// SetRecorder installs the flight recorder this node logs its ring
+// lifecycle events into. Wiring-time configuration: call before
+// Create/Join.
+func (n *Node) SetRecorder(r *flightrec.Recorder) {
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	n.rec = r
+}
+
+func (n *Node) getTracer() *trace.Tracer {
+	n.obsMu.RLock()
+	defer n.obsMu.RUnlock()
+	return n.tracer
+}
+
+// record logs one lifecycle event into the flight recorder, if any.
+func (n *Node) record(ctx context.Context, kind, key, detail string) {
+	n.obsMu.RLock()
+	r := n.rec
+	n.obsMu.RUnlock()
+	r.Record(ctx, kind, key, detail)
 }
 
 // AddEvictObserver registers fn to observe every routing-state eviction
@@ -495,6 +540,7 @@ func (n *Node) finishJoin(ctx context.Context, succ msg.NodeRef) error {
 	}
 
 	n.start()
+	n.record(ctx, "chord-join", succ.Addr, "")
 	// Proactively notify so the ring links in without waiting a full
 	// stabilization round.
 	_, _ = n.Call(ctx, transport.Addr(succ.Addr), &msg.NotifyReq{Candidate: n.ref})

@@ -6,6 +6,7 @@ import (
 
 	"p2pltr/internal/ids"
 	"p2pltr/internal/msg"
+	"p2pltr/internal/trace"
 	"p2pltr/internal/transport"
 )
 
@@ -40,6 +41,26 @@ import (
 //     phantom's own record. A plain redirect to the installed successor
 //     does neither.
 func (n *Node) handle(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, error) {
+	// Server-side child span: when the transport extracted a trace
+	// context from the envelope, the whole dispatch runs under a child
+	// span tagged with this peer's address — that is how a commit's
+	// route/rpc/validate/replicate segments on different peers end up
+	// sharing one trace ID. Gated on the remote carrier so untraced
+	// maintenance RPCs (pings, stabilize probes) open no spans at all.
+	if tr := n.getTracer(); tr != nil {
+		if _, ok := trace.RemoteFromContext(ctx); ok {
+			sp := tr.StartRemote(ctx, "serve", req.Kind(), n.ref.Addr)
+			ctx = trace.NewContext(ctx, sp)
+			resp, err := n.dispatch(ctx, from, req)
+			sp.EndErr(err)
+			return resp, err
+		}
+	}
+	return n.dispatch(ctx, from, req)
+}
+
+// dispatch routes one request to its protocol handler or mounted service.
+func (n *Node) dispatch(ctx context.Context, from transport.Addr, req msg.Message) (msg.Message, error) {
 	switch r := req.(type) {
 	case *msg.PingReq:
 		if n.idle() {
@@ -57,9 +78,9 @@ func (n *Node) handle(ctx context.Context, from transport.Addr, req msg.Message)
 		n.handleNotify(r.Candidate)
 		return &msg.Ack{}, nil
 	case *msg.HandoverReq:
-		return n.handleHandover(r)
+		return n.handleHandover(ctx, r)
 	case *msg.AbsorbReq:
-		n.handleAbsorb(r)
+		n.handleAbsorb(ctx, r)
 		return &msg.Ack{}, nil
 	case *msg.StateTransferReq:
 		n.importItems(r.Items)
@@ -117,7 +138,7 @@ func (n *Node) handleNotify(cand msg.NodeRef) {
 // state the new node now owns (ring positions outside (newNode, self]),
 // and we adopt the new node as predecessor immediately so responsibility
 // flips atomically with the transfer.
-func (n *Node) handleHandover(r *msg.HandoverReq) (msg.Message, error) {
+func (n *Node) handleHandover(ctx context.Context, r *msg.HandoverReq) (msg.Message, error) {
 	newNode := r.NewNode
 	if newNode.IsZero() {
 		return nil, fmt.Errorf("chord: handover: zero node")
@@ -131,12 +152,14 @@ func (n *Node) handleHandover(r *msg.HandoverReq) (msg.Message, error) {
 	for _, s := range n.services {
 		items = append(items, s.ExportOutside(newNode.ID, n.id)...)
 	}
+	n.record(ctx, "chord-handover", newNode.Addr, fmt.Sprintf("items=%d", len(items)))
 	return &msg.HandoverResp{Items: items}, nil
 }
 
 // handleAbsorb installs the state pushed by a voluntarily leaving
 // predecessor.
-func (n *Node) handleAbsorb(r *msg.AbsorbReq) {
+func (n *Node) handleAbsorb(ctx context.Context, r *msg.AbsorbReq) {
+	n.record(ctx, "chord-absorb", r.Leaving.Addr, fmt.Sprintf("items=%d", len(r.Items)))
 	n.importItems(r.Items)
 	n.mu.Lock()
 	if n.pred.Addr == r.Leaving.Addr {

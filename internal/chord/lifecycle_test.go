@@ -163,7 +163,7 @@ func TestConcurrentLookupsDuringChurn(t *testing.T) {
 
 func TestHandoverToZeroNodeRejected(t *testing.T) {
 	_, nodes := testRing(t, 2)
-	_, err := nodes[0].handleHandover(&msg.HandoverReq{})
+	_, err := nodes[0].handleHandover(context.Background(), &msg.HandoverReq{})
 	if err == nil {
 		t.Fatalf("handover to zero node accepted")
 	}

@@ -286,9 +286,12 @@ func (n *Node) suspectFailureBudget(ref msg.NodeRef, budget int) bool {
 	} else {
 		n.suspects[ref.Addr] = s
 	}
+	strikes := s.count
 	n.mu.Unlock()
 	if confirmed {
 		n.evict(ref)
+	} else {
+		n.record(nil, "chord-suspect", ref.Addr, fmt.Sprintf("strikes=%d/%d", strikes, budget))
 	}
 	return confirmed
 }
@@ -306,6 +309,7 @@ func (n *Node) clearSuspicion(addr string) {
 func (n *Node) evict(dead msg.NodeRef) {
 	n.evictions.Add(1)
 	n.cEvictions.Add(1)
+	n.record(nil, "chord-evict", dead.Addr, "")
 	if n.cfg.OnEvict != nil {
 		n.cfg.OnEvict(dead)
 	}

@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"p2pltr/internal/chord"
+	"p2pltr/internal/core"
+	"p2pltr/internal/maintain"
+	"p2pltr/internal/trace"
+	"p2pltr/internal/transport"
+)
+
+// TestMetricsRegistryExportsSubsystemCounters pins the /metrics surface:
+// the maintenance and DHT counters must be present in the Prometheus
+// text the moment the peer exists — eagerly registered, not lazily on
+// first increment — so dashboards and scrapes see stable series from
+// startup, including series that stay at zero on a healthy node.
+func TestMetricsRegistryExportsSubsystemCounters(t *testing.T) {
+	net := transport.NewSimnet()
+	tr := trace.New(nil, 16)
+	p := core.NewPeer(net.NewEndpoint("m"), core.Options{
+		Chord:              chord.FastConfig(),
+		CheckpointInterval: 8,
+		Maintain:           &maintain.Config{},
+		Tracer:             tr,
+	})
+	p.Create()
+	defer p.Stop()
+
+	var b strings.Builder
+	if err := p.MetricsRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		// DHT storage counters (eager at store construction).
+		"p2pltr_dht_puts_total",
+		"p2pltr_dht_gets_total",
+		"p2pltr_dht_promotions_total",
+		"p2pltr_dht_rehomes_total",
+		"p2pltr_dht_floors_derived_total",
+		"p2pltr_dht_floor_swept_slots_total",
+		// DHT client-side counters.
+		"p2pltr_dht_client_calls_total",
+		"p2pltr_dht_client_retries_total",
+		// Maintenance engine counters (eager at engine construction).
+		"p2pltr_maintain_passes_total",
+		"p2pltr_maintain_keys_discovered_total",
+		"p2pltr_maintain_slots_repaired_total",
+		"p2pltr_maintain_fallback_checkpoints_total",
+		"p2pltr_maintain_truncations_total",
+		// KTS and chord families.
+		"p2pltr_kts_grants",
+		"p2pltr_kts_admission_queue_depth",
+		"p2pltr_chord_",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without a maintenance engine, the maintain family must be absent
+	// rather than exported as a ghost of zeros.
+	p2 := core.NewPeer(net.NewEndpoint("m2"), core.Options{Chord: chord.FastConfig()})
+	p2.Create()
+	defer p2.Stop()
+	var b2 strings.Builder
+	if err := p2.MetricsRegistry().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b2.String(), "p2pltr_maintain_") {
+		t.Fatal("maintain family exported on a peer without the engine")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"p2pltr/internal/checkpoint"
 	"p2pltr/internal/chord"
 	"p2pltr/internal/dht"
+	"p2pltr/internal/flightrec"
 	"p2pltr/internal/ids"
 	"p2pltr/internal/kts"
 	"p2pltr/internal/maintain"
@@ -80,8 +81,18 @@ type Options struct {
 	// Tracer threads the commit-pipeline span tracer through this peer:
 	// replicas mark route/rpc/backoff/retrieve/checkpoint stages on the
 	// commit spans they carry, and the KTS master records a validation
-	// span per request. nil = tracing off (zero overhead).
+	// span per request. With tracing on, the chord dispatcher also opens
+	// server-side child spans for RPCs arriving with a propagated trace
+	// context, continuing the caller's trace ID on this peer. nil =
+	// tracing off (zero overhead).
 	Tracer *trace.Tracer
+	// FlightRecorder, when positive, mounts a per-peer flight recorder
+	// retaining the last FlightRecorder lifecycle events (chord
+	// join/suspect/evict/handover, KTS grant/shed/takeover, DHT
+	// promotion/re-home/floor advance, checkpoint fallback/repair,
+	// truncation), each stamped with the peer address, the clock instant
+	// and the active trace ID. 0 = recorder off (zero overhead).
+	FlightRecorder int
 }
 
 func (o Options) withDefaults() Options {
@@ -138,6 +149,9 @@ type Peer struct {
 	// Maint is the self-healing maintenance engine (nil unless
 	// Options.Maintain enabled it).
 	Maint *maintain.Engine
+	// Flight is the peer's flight recorder (nil unless
+	// Options.FlightRecorder enabled it).
+	Flight *flightrec.Recorder
 }
 
 // NewPeer wires a peer onto the given transport endpoint.
@@ -158,6 +172,17 @@ func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 	p.KTS.SetCheckpointStore(p.Ckpt)
 	if opts.Tracer != nil {
 		p.KTS.SetTracer(opts.Tracer)
+		node.SetTracer(opts.Tracer)
+	}
+	if opts.FlightRecorder > 0 {
+		p.Flight = flightrec.New(opts.Clock, string(ep.Addr()), opts.FlightRecorder)
+		// The trace-ID hook keeps flightrec free of the span machinery:
+		// events are stamped with whatever trace the request context
+		// carries, local span or propagated remote context alike.
+		p.Flight.SetTraceIDFunc(trace.TraceIDFromContext)
+		node.SetRecorder(p.Flight)
+		p.DHT.SetRecorder(p.Flight)
+		p.KTS.SetRecorder(p.Flight)
 	}
 	if opts.AdmissionLimit > 0 {
 		p.KTS.SetAdmissionLimit(opts.AdmissionLimit)
@@ -176,6 +201,7 @@ func NewPeer(ep transport.Endpoint, opts Options) *Peer {
 			cfg.Discover = p.discoverKeys
 		}
 		p.Maint = maintain.NewEngine(cfg, p.KTS, p.Ckpt, p.Log, snapshotter{p})
+		p.Maint.SetRecorder(p.Flight)
 		node.Attach(p.Maint)
 		// Truncation floors are in-memory; re-derive them after a restart
 		// from the replicated checkpoint pointer, minus the same safety

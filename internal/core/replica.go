@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"p2pltr/internal/checkpoint"
@@ -517,6 +518,7 @@ func (r *Replica) maybeCheckpointLocked(ctx context.Context, ts uint64) {
 		r.seenCkptTS = resp.CkptTS
 	}
 	r.ckptPublished++
+	r.peer.Flight.Record(ctx, "ckpt-publish", r.key, "ts="+strconv.FormatUint(ts, 10))
 	// Local WAL checkpointing rides on the same snapshot: state up to ts
 	// is durable in the DHT, so the journal shrinks to one record.
 	_ = r.compactJournalLocked()

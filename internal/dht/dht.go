@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"p2pltr/internal/chord"
+	"p2pltr/internal/flightrec"
 	"p2pltr/internal/ids"
 	"p2pltr/internal/metrics"
 	"p2pltr/internal/msg"
@@ -63,6 +64,10 @@ type Service struct {
 	floorRecheck   time.Duration
 	// noSuccCopies disables the Log-Peers-Succ mechanism (ablation A1).
 	noSuccCopies bool
+	// rec, when set, records storage-lifecycle events (promotion,
+	// re-home, floor sweep/derive) into the peer's flight recorder; nil
+	// is a valid no-op recorder.
+	rec *flightrec.Recorder
 
 	// counters is the exportable storage metric family; members are
 	// cached so RPC hot paths skip the family map lookup.
@@ -100,6 +105,21 @@ func NewService() *Service {
 // replica-puts, gets, get-misses, deletes, promotions,
 // floor-swept-slots, floors-derived, rehomes.
 func (s *Service) Counters() *metrics.Family { return s.counters }
+
+// SetRecorder wires the peer's flight recorder; replica promotions,
+// re-homings and truncation-floor advances are then recorded as
+// lifecycle events. Wiring-time configuration.
+func (s *Service) SetRecorder(r *flightrec.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = r
+}
+
+func (s *Service) recorder() *flightrec.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
 
 // SetClock routes the service's asynchronous successor-copy pushes (their
 // goroutines and timeouts) through c. Virtual-time simulations need it so
@@ -212,6 +232,7 @@ func (s *Service) noteFloor(f msg.TruncFloor, sweepPrimary bool) (sweptPrimary i
 	if sweepPrimary {
 		stores = append(stores, s.st)
 	}
+	swept := 0
 	for _, st := range stores {
 		// Metadata-only snapshot: the sweep matches on slot names, and
 		// cloning every value per floor advance would be O(store bytes).
@@ -219,6 +240,7 @@ func (s *Service) noteFloor(f msg.TruncFloor, sweepPrimary bool) (sweptPrimary i
 			if key, ts, ok := ids.ParseLogSlotName(e.Key); ok && key == f.Key && ts <= f.TS {
 				if st.Delete(e.ID) {
 					s.cFloorSweeps.Add(1)
+					swept++
 					if st == s.st {
 						sweptPrimary++
 					}
@@ -226,6 +248,7 @@ func (s *Service) noteFloor(f msg.TruncFloor, sweepPrimary bool) (sweptPrimary i
 			}
 		}
 	}
+	s.recorder().Record(nil, "dht-floor-sweep", f.Key, fmt.Sprintf("ts=%d swept=%d", f.TS, swept))
 	return sweptPrimary
 }
 
@@ -369,6 +392,7 @@ func (s *Service) HandleRPC(ctx context.Context, from transport.Addr, req msg.Me
 			}
 			if rng := s.ring(); rng != nil && rng.Owns(r.ID) {
 				s.cPromotions.Add(1)
+				s.recorder().Record(ctx, "dht-promote", e.Key, "read-takeover")
 				s.st.Put(r.ID, e.Key, e.Value)
 				s.replicateToSucc([]msg.StateItem{{Service: ServiceName, Key: e.Key, ID: r.ID, Value: e.Value}})
 			}
@@ -446,6 +470,7 @@ func (s *Service) Maintain(ctx context.Context) {
 		if rng.Owns(e.ID) {
 			if _, ok := s.st.Get(e.ID); !ok {
 				s.cPromotions.Add(1)
+				s.recorder().Record(ctx, "dht-promote", e.Key, "maintain")
 				s.st.Put(e.ID, e.Key, e.Value)
 			}
 			s.rep.Delete(e.ID)
@@ -548,6 +573,12 @@ func (s *Service) rehomeStranded(ctx context.Context) {
 					dropped = append(dropped, it.ID)
 				}
 				s.cRehomes.Add(int64(len(items)))
+				key := items[0].Key
+				if dk, _, ok := ids.ParseLogSlotName(key); ok {
+					key = dk
+				}
+				s.recorder().Record(ctx, "dht-rehome", key,
+					fmt.Sprintf("slots=%d owner=%s", len(items), owner.Addr))
 			}
 		}
 		i = j
@@ -611,6 +642,7 @@ func (s *Service) deriveFloors(ctx context.Context) {
 		s.mu.Unlock()
 		if ts > 0 {
 			s.cFloorDerived.Add(1)
+			s.recorder().Record(ctx, "dht-floor-derive", key, fmt.Sprintf("ts=%d", ts))
 			s.noteFloor(msg.TruncFloor{Key: key, TS: ts}, false)
 		}
 	}

@@ -77,6 +77,16 @@ func TestE12Deterministic(t *testing.T) {
 	if a.Virtual != b.Virtual {
 		t.Fatalf("virtual durations diverged: %v vs %v", a.Virtual, b.Virtual)
 	}
+	// The flight recorders observe scheduling order directly (per-peer
+	// sequence numbers, same-instant event order), so their merged digest
+	// is the strictest determinism check here.
+	if a.FlightEvents != b.FlightEvents || a.FlightDigest != b.FlightDigest {
+		t.Fatalf("flight recorder diverged: %d events digest %016x vs %d events digest %016x",
+			a.FlightEvents, a.FlightDigest, b.FlightEvents, b.FlightDigest)
+	}
+	if a.FlightEvents == 0 {
+		t.Fatal("flight recorders captured no lifecycle events; digest comparison is vacuous")
+	}
 	// A different seed must actually change the run — otherwise the
 	// comparisons above prove nothing.
 	c := run(seed + 1)

@@ -93,6 +93,15 @@ func TestE13Deterministic(t *testing.T) {
 	if a.TraceSpans == 0 {
 		t.Fatal("tracer recorded no spans; determinism-under-tracing claim is vacuous")
 	}
+	// The flight recorders are ON too; their merged lifecycle timeline is
+	// part of the same determinism envelope.
+	if a.FlightEvents != b.FlightEvents || a.FlightDigest != b.FlightDigest {
+		t.Fatalf("flight recorder diverged: %d events digest %016x vs %d events digest %016x",
+			a.FlightEvents, a.FlightDigest, b.FlightEvents, b.FlightDigest)
+	}
+	if a.FlightEvents == 0 {
+		t.Fatal("flight recorders captured no lifecycle events; digest comparison is vacuous")
+	}
 	// A different seed must actually change the run — otherwise the
 	// comparisons above prove nothing.
 	c := run(seed + 1)

@@ -11,6 +11,7 @@ import (
 
 	"p2pltr/internal/chord"
 	"p2pltr/internal/core"
+	"p2pltr/internal/flightrec"
 	"p2pltr/internal/maintain"
 	"p2pltr/internal/metrics"
 	"p2pltr/internal/transport"
@@ -67,8 +68,15 @@ type e12Result struct {
 	Rejects  int64
 	Sent     int64
 	Dropped  int64
-	Virtual  time.Duration
-	Wall     time.Duration
+	// FlightEvents/FlightDigest summarize the merged per-peer flight
+	// recorders (every chord/KTS/DHT/checkpoint lifecycle event the run
+	// produced): the digest must reproduce bitwise across same-seed runs,
+	// which is what keeps the recorder itself inside the determinism
+	// envelope rather than just observing it.
+	FlightEvents int
+	FlightDigest uint64
+	Virtual      time.Duration
+	Wall         time.Duration
 }
 
 // runE12 executes one full-stack virtual-time run.
@@ -109,8 +117,9 @@ func runE12(seed int64, peers, docs, sessionsPerDoc, editsPerSession, churnRound
 			TruncateEvery: 10 * time.Second,
 			KeepIntervals: 1,
 		},
-		ClientBackoff: time.Second,
-		Clock:         clk,
+		ClientBackoff:  time.Second,
+		Clock:          clk,
+		FlightRecorder: 256,
 	}
 
 	res := &e12Result{Peers: peers}
@@ -449,6 +458,15 @@ func runE12(seed int64, peers, docs, sessionsPerDoc, editsPerSession, churnRound
 		res.Rejects += rj
 	}
 	res.Sent, res.Dropped = net.Stats()
+	recs := make([]*flightrec.Recorder, 0, len(all))
+	for _, p := range all {
+		if p.Flight != nil {
+			recs = append(recs, p.Flight)
+		}
+	}
+	merged := flightrec.Merge(recs...)
+	res.FlightEvents = len(merged)
+	res.FlightDigest = flightrec.DigestEvents(merged)
 	res.Virtual = clk.Since(epoch)
 	res.Wall = time.Since(wallStart)
 	return res, nil

@@ -10,6 +10,7 @@ import (
 
 	"p2pltr/internal/chord"
 	"p2pltr/internal/core"
+	"p2pltr/internal/flightrec"
 	"p2pltr/internal/gateway"
 	"p2pltr/internal/metrics"
 	"p2pltr/internal/trace"
@@ -104,9 +105,14 @@ type e13Result struct {
 	CommitSpanP99  time.Duration
 	TraceSpans     int64
 	TraceDigest    uint64
-	WorkloadEnd    time.Duration
-	Virtual        time.Duration
-	Wall           time.Duration
+	// Flight-recorder timeline: every peer's lifecycle events merged into
+	// one causally-ordered sequence; the digest is part of the determinism
+	// envelope exactly like the trace digest.
+	FlightEvents int
+	FlightDigest uint64
+	WorkloadEnd  time.Duration
+	Virtual      time.Duration
+	Wall         time.Duration
 }
 
 // runE13 executes one gateway-serving run: hotEditors sessions all edit
@@ -149,6 +155,7 @@ func runE13(seed int64, peers, docs, hotEditors, tailEditors, edits, viewersPerE
 		AdmissionLimit:     admissionLimit,
 		ClientBackoff:      time.Second,
 		Clock:              clk,
+		FlightRecorder:     256,
 		// No maintenance engine: its discovery pass probes last_ts,
 		// which would muddy the followers-bypass-the-KTS counter check.
 	}
@@ -475,6 +482,16 @@ func runE13(seed int64, peers, docs, hotEditors, tailEditors, edits, viewersPerE
 	res.CommitSpanP99 = commitSpanH.Quantile(0.99)
 	mu.Unlock()
 
+	recs := make([]*flightrec.Recorder, 0, len(all))
+	for _, p := range all {
+		if p.Flight != nil {
+			recs = append(recs, p.Flight)
+		}
+	}
+	merged := flightrec.Merge(recs...)
+	res.FlightEvents = len(merged)
+	res.FlightDigest = flightrec.DigestEvents(merged)
+
 	res.Sent, res.Dropped = net.Stats()
 	res.Virtual = clk.Since(epoch)
 	res.Wall = time.Since(wallStart)
@@ -509,6 +526,8 @@ func RunE13(cfg Config) error {
 	fmt.Fprint(cfg.Out, btbl.String())
 	fmt.Fprintf(cfg.Out, "commit spans: n=%d p50=%v p99=%v; traced spans total=%d digest=%016x\n",
 		res.Aggregate.Commits, res.CommitSpanP50, res.CommitSpanP99, res.TraceSpans, res.TraceDigest)
+	fmt.Fprintf(cfg.Out, "flight recorder: %d lifecycle events across %d peers, digest=%016x\n",
+		res.FlightEvents, res.Peers, res.FlightDigest)
 	fmt.Fprintf(cfg.Out, "gateway counters: %v\n", res.Gateway)
 	sec := res.WorkloadEnd.Seconds()
 	fmt.Fprintf(cfg.Out, "peers=%d gateways=4+1 lines=%d commits=%d (%.2f commits/s, %.2f lines/s aggregate) admission: fast-rejects=%d busy-rejects=%d last_ts-calls=%d cold-bootstraps=%d messages=%d virtual=%s wall=%s speedup=%.0fx\n",

@@ -41,6 +41,7 @@ import (
 
 	"p2pltr/internal/checkpoint"
 	"p2pltr/internal/chord"
+	"p2pltr/internal/flightrec"
 	"p2pltr/internal/ids"
 	"p2pltr/internal/msg"
 	"p2pltr/internal/p2plog"
@@ -118,8 +119,11 @@ type Service struct {
 	admission atomic.Int64
 
 	// tracer records per-validation spans when set (nil = tracing off;
-	// every span call is a no-op on nil).
+	// every span call is a no-op on nil). rec, when set, records
+	// timestamp-lifecycle events (grant, shed, takeover) into the peer's
+	// flight recorder; nil is a valid no-op recorder.
 	tracer *trace.Tracer
+	rec    *flightrec.Recorder
 
 	// stats for the experiments
 	statsMu     sync.Mutex
@@ -155,6 +159,11 @@ func (s *Service) SetCheckpointStore(cs *checkpoint.Store) { s.ckpt = cs }
 // "validate" span with admission-wait/sync/publish/replicate stages and
 // fast-reject/busy-shed annotations. Wiring-time configuration.
 func (s *Service) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
+// SetRecorder wires the peer's flight recorder; grants, busy-sheds and
+// state takeovers are then recorded as lifecycle events. Wiring-time
+// configuration.
+func (s *Service) SetRecorder(r *flightrec.Recorder) { s.rec = r }
 
 // AdmissionQueueDepth returns the instantaneous number of validators
 // admitted past the fast path and not yet finished, summed over keys —
@@ -222,7 +231,11 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (resp 
 	if !s.ring.Owns(tsID) {
 		return &msg.ValidateResp{Status: msg.ValidateNotMaster}, nil
 	}
-	sp := s.tracer.Start("validate", r.Key)
+	// StartRemote continues the trace context the transport extracted
+	// from the envelope: the validate span on the master shares the
+	// committing editor's trace ID. Without a propagated context it is an
+	// ordinary root span, as before.
+	sp := s.tracer.StartRemote(ctx, "validate", r.Key, s.ring.Ref().Addr)
 	defer func() { sp.EndErr(err) }()
 	e := s.entryFor(r.Key)
 
@@ -248,6 +261,7 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (resp 
 				retry = 500
 			}
 			sp.Note("busy-shed", int64(retry))
+			s.rec.Record(ctx, "kts-shed", r.Key, "retry-ms="+strconv.FormatUint(retry, 10))
 			return &msg.ValidateResp{
 				Status: msg.ValidateBusy, LastTS: e.fastLastTS.Load(),
 				CkptTS: e.fastCkptTS.Load(), RetryAfterMS: retry,
@@ -319,6 +333,7 @@ func (s *Service) handleValidate(ctx context.Context, r *msg.ValidateReq) (resp 
 	s.replicateToSucc(ctx, r.Key, tsID, e)
 	sp.Mark("replicate")
 	s.bumpGrants()
+	s.rec.Record(ctx, "kts-grant", r.Key, "ts="+strconv.FormatUint(newTS, 10))
 	return &msg.ValidateResp{Status: msg.ValidateOK, ValidatedTS: newTS, LastTS: newTS, CkptTS: e.ckptTS}, nil
 }
 
@@ -672,6 +687,7 @@ func (s *Service) Import(items []msg.StateItem) {
 	s.statsMu.Lock()
 	s.takeovers++
 	s.statsMu.Unlock()
+	s.rec.Record(nil, "kts-takeover", "", "items="+strconv.Itoa(len(items)))
 }
 
 func stateItem(key string, tsID ids.ID, lastTS, ckptTS uint64) msg.StateItem {

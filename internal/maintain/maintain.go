@@ -40,10 +40,12 @@ package maintain
 import (
 	"context"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"p2pltr/internal/checkpoint"
+	"p2pltr/internal/flightrec"
 	"p2pltr/internal/ids"
 	"p2pltr/internal/kts"
 	"p2pltr/internal/metrics"
@@ -178,6 +180,10 @@ type Engine struct {
 	lastDiscover time.Time
 
 	counters *metrics.Family
+	// rec, when set, records maintenance-lifecycle events (fallback
+	// checkpoint production, slot repair, truncation) into the peer's
+	// flight recorder; nil is a valid no-op recorder.
+	rec *flightrec.Recorder
 }
 
 // dropAfterMisses is how many consecutive not-master passes evict a
@@ -210,7 +216,7 @@ func NewEngine(cfg Config, ts *kts.Service, store *checkpoint.Store, log *p2plog
 	if cfg.Now == nil {
 		cfg.Now = vclock.System.Now
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:         cfg,
 		kts:         ts,
 		store:       store,
@@ -223,6 +229,34 @@ func NewEngine(cfg Config, ts *kts.Service, store *checkpoint.Store, log *p2plog
 		notMaster:   make(map[string]int),
 		counters:    metrics.NewFamily(),
 	}
+	// Eagerly create every member the engine ever bumps: a counter that
+	// exists only after its first use is invisible to registry snapshots
+	// (and to /metrics) on an idle or freshly started peer, which makes
+	// dashboards and the registry presence test flap on timing.
+	for _, name := range []string{
+		"passes", "fallback-checkpoints", "slots-repaired",
+		"pointer-refreshes", "truncations", "slots-truncated",
+		"truncations-ratelimited", "repairs-skipped", "keys-discovered",
+		"errors",
+	} {
+		e.counters.Counter(name)
+	}
+	return e
+}
+
+// SetRecorder wires the peer's flight recorder; fallback checkpoint
+// productions, slot repairs and truncations are then recorded as
+// lifecycle events. Wiring-time configuration.
+func (e *Engine) SetRecorder(r *flightrec.Recorder) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rec = r
+}
+
+func (e *Engine) recorder() *flightrec.Recorder {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rec
 }
 
 // Counters exposes the engine's action counter family: passes,
@@ -403,6 +437,8 @@ func (e *Engine) maintainKey(ctx context.Context, st kts.KeyState) {
 			full = f
 			if repaired > 0 {
 				e.counters.Counter("slots-repaired").Add(int64(repaired))
+				e.recorder().Record(ctx, "ckpt-repair", st.Key,
+					"ts="+strconv.FormatUint(st.CkptTS, 10)+" slots="+strconv.Itoa(repaired))
 			}
 			// Refresh pointer records that fell behind the master's
 			// in-memory pointer (a failed WritePointer during announce).
@@ -457,6 +493,7 @@ func (e *Engine) produce(ctx context.Context, key string, boundary uint64) (uint
 		return ckptTS, ckptTS >= boundary
 	}
 	e.counters.Counter("fallback-checkpoints").Add(1)
+	e.recorder().Record(ctx, "ckpt-fallback", key, "ts="+strconv.FormatUint(boundary, 10))
 	return boundary, true
 }
 
@@ -513,4 +550,6 @@ func (e *Engine) maybeTruncate(ctx context.Context, st kts.KeyState) {
 	e.mu.Unlock()
 	e.counters.Counter("truncations").Add(1)
 	e.counters.Counter("slots-truncated").Add(int64(deleted))
+	e.recorder().Record(ctx, "log-truncate", st.Key,
+		"to="+strconv.FormatUint(target, 10)+" slots="+strconv.Itoa(deleted))
 }

@@ -32,6 +32,20 @@ type NodeRef struct {
 // IsZero reports whether the reference is unset.
 func (n NodeRef) IsZero() bool { return n.Addr == "" }
 
+// TraceContext is the compact causal-tracing context every RPC envelope
+// may carry: the commit-wide trace ID minted by the root span, the
+// calling span's ID (the parent of any span the serving peer opens),
+// and the RPC hop depth below the root. The zero value means "no active
+// trace" and costs nothing on the wire beyond its fixed fields. It is a
+// plain envelope field, not a Message: transports copy it alongside the
+// request (tcpnet gob-encodes it inside its envelope; simnet carries it
+// on the call context), and the trace package interprets it.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Hops    uint8
+}
+
 func (n NodeRef) String() string {
 	if n.IsZero() {
 		return "<nil-node>"

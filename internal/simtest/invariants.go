@@ -65,12 +65,12 @@ func (r *runner) settle(workloadEnd time.Duration) {
 	// Invariant: all-replica convergence. Cold readers on distinct
 	// surviving peers must each pull the full committed history
 	// (checkpoint bootstrap + log tail) and agree on the text.
-	convOK, convDetail := true, ""
+	convOK, convDetail, convKey := true, "", ""
 	for d := range reports {
 		doc := reports[d].Doc
 		readers := r.coldReaders(doc, 3)
 		if len(readers) == 0 {
-			convOK, convDetail = false, "no live peer to read from"
+			convOK, convDetail, convKey = false, "no live peer to read from", doc
 			break
 		}
 		caughtUp := func() bool {
@@ -83,7 +83,8 @@ func (r *runner) settle(workloadEnd time.Duration) {
 		}
 		for !caughtUp() {
 			if past(deadline) {
-				convOK, convDetail = false, fmt.Sprintf("%s: reader stuck at %d of %d after %s",
+				convOK, convKey = false, doc
+				convDetail = fmt.Sprintf("%s: reader stuck at %d of %d after %s",
 					doc, readers[0].CommittedTS(), reports[d].FinalTS, budget)
 				break
 			}
@@ -96,11 +97,12 @@ func (r *runner) settle(workloadEnd time.Duration) {
 		want := readers[0].CommittedText()
 		for _, rd := range readers[1:] {
 			if rd.CommittedText() != want {
-				convOK, convDetail = false, fmt.Sprintf("%s: replica texts diverge at ts %d", doc, reports[d].FinalTS)
+				convOK, convKey = false, doc
+				convDetail = fmt.Sprintf("%s: replica texts diverge at ts %d", doc, reports[d].FinalTS)
 			}
 		}
 	}
-	r.res.check("convergence", convOK, "%s", orf(convDetail, "all %d docs converged on %d cold readers", plan.Docs, 3))
+	r.res.checkk("convergence", convKey, convOK, "%s", orf(convDetail, "all %d docs converged on %d cold readers", plan.Docs, 3))
 
 	// Invariant: checkpoint lag < interval. The replicated pointer must
 	// reach the last boundary of every document — on doomed documents no
@@ -108,7 +110,7 @@ func (r *runner) settle(workloadEnd time.Duration) {
 	// get it there. With maintenance disabled the pointer is judged
 	// as-is (no wait): that configuration exists to demonstrate the
 	// violation.
-	lagOK, lagDetail := true, ""
+	lagOK, lagDetail, lagKey := true, "", ""
 	for d := range reports {
 		doc := reports[d].Doc
 		boundary := reports[d].FinalTS - reports[d].FinalTS%interval
@@ -128,12 +130,12 @@ func (r *runner) settle(workloadEnd time.Duration) {
 		}
 		reports[d].CkptLag = reports[d].FinalTS - reports[d].CkptPtr
 		if reports[d].CkptLag >= interval && reports[d].FinalTS >= interval {
-			lagOK = false
+			lagOK, lagKey = false, doc
 			lagDetail = fmt.Sprintf("%s: pointer %d lags final ts %d by %d (interval %d)",
 				doc, reports[d].CkptPtr, reports[d].FinalTS, reports[d].CkptLag, interval)
 		}
 	}
-	r.res.check("checkpoint-lag", lagOK, "%s", orf(lagDetail, "pointer within %d of final ts on all docs", interval))
+	r.res.checkk("checkpoint-lag", lagKey, lagOK, "%s", orf(lagDetail, "pointer within %d of final ts on all docs", interval))
 
 	// Invariant: truncation reclaims the checkpoint-covered log prefix —
 	// no slot at or below the reclaim horizon (pointer minus the
@@ -141,7 +143,7 @@ func (r *runner) settle(workloadEnd time.Duration) {
 	// that never learned the floor (only meaningful when maintenance
 	// runs; with it disabled nothing ever truncates).
 	if !plan.DisableMaintain {
-		reclaimOK, reclaimDetail := true, ""
+		reclaimOK, reclaimDetail, reclaimKey := true, "", ""
 		for d := range reports {
 			doc := reports[d].Doc
 			reclaimTo := uint64(0)
@@ -150,7 +152,7 @@ func (r *runner) settle(workloadEnd time.Duration) {
 			}
 			for r.coveredSlots(doc, reclaimTo) > 0 {
 				if past(workloadEnd + 2*budget) {
-					reclaimOK = false
+					reclaimOK, reclaimKey = false, doc
 					reclaimDetail = fmt.Sprintf("%s: %d slots at or below reclaim horizon %d still stored",
 						doc, r.coveredSlots(doc, reclaimTo), reclaimTo)
 					break
@@ -159,14 +161,14 @@ func (r *runner) settle(workloadEnd time.Duration) {
 			}
 			reports[d].LogSlots = r.logSlots(doc)
 		}
-		r.res.check("log-reclaim", reclaimOK, "%s", orf(reclaimDetail, "no slot below any doc's reclaim horizon"))
+		r.res.checkk("log-reclaim", reclaimKey, reclaimOK, "%s", orf(reclaimDetail, "no slot below any doc's reclaim horizon"))
 	}
 
 	// Invariant: no slot below a peer's own truncation floor survives in
 	// its stores. Floors that arrive out of band sweep lazily (the next
 	// maintenance walk), so give the sweeps a grace period first.
 	_ = r.clk.Sleep(r.ctx, 5*time.Second)
-	leaks, leakDetail := 0, ""
+	leaks, leakDetail, leakKey := 0, "", ""
 	for i, p := range r.all {
 		if r.down[i] || !p.Node.Running() {
 			continue
@@ -177,11 +179,12 @@ func (r *runner) settle(workloadEnd time.Duration) {
 			key, ts, ok := ids.ParseLogSlotName(e.Key)
 			if ok && ts <= p.DHT.Floor(key) {
 				leaks++
+				leakKey = key
 				leakDetail = fmt.Sprintf("%s holds %s at ts %d under floor %d", p.Addr(), e.Key, ts, p.DHT.Floor(key))
 			}
 		}
 	}
-	r.res.check("no-floor-leaks", leaks == 0, "%s", orf(leakDetail, "no slot below any peer's floor"))
+	r.res.checkk("no-floor-leaks", leakKey, leaks == 0, "%s", orf(leakDetail, "no slot below any peer's floor"))
 
 	// Invariant: KTS timestamp monotonicity. Granted timestamps are
 	// unique per document (a master takeover that regressed last_ts
@@ -189,7 +192,7 @@ func (r *runner) settle(workloadEnd time.Duration) {
 	// increasing per editing site. Gateway-mode commit records carry the
 	// synthetic "gw" site and interleave across gateways, so the
 	// per-site ordering leg applies to real sites only.
-	monoOK, monoDetail := true, ""
+	monoOK, monoDetail, monoKey := true, "", ""
 	seen := map[string]map[uint64]bool{}
 	lastBySite := map[string]uint64{}
 	for _, ev := range r.res.Events {
@@ -200,24 +203,26 @@ func (r *runner) settle(workloadEnd time.Duration) {
 			seen[ev.Doc] = map[uint64]bool{}
 		}
 		if seen[ev.Doc][ev.TS] {
-			monoOK, monoDetail = false, fmt.Sprintf("%s: ts %d granted twice", ev.Doc, ev.TS)
+			monoOK, monoKey = false, ev.Doc
+			monoDetail = fmt.Sprintf("%s: ts %d granted twice", ev.Doc, ev.TS)
 		}
 		seen[ev.Doc][ev.TS] = true
 		if ev.Site != "gw" {
 			k := ev.Doc + "|" + ev.Site
 			if ev.TS <= lastBySite[k] {
-				monoOK, monoDetail = false, fmt.Sprintf("%s: site %s went %d -> %d", ev.Doc, ev.Site, lastBySite[k], ev.TS)
+				monoOK, monoKey = false, ev.Doc
+				monoDetail = fmt.Sprintf("%s: site %s went %d -> %d", ev.Doc, ev.Site, lastBySite[k], ev.TS)
 			}
 			lastBySite[k] = ev.TS
 		}
 	}
-	r.res.check("ts-monotonic", monoOK, "%s", orf(monoDetail, "%d grants unique and site-ordered", len(lastBySite)))
+	r.res.checkk("ts-monotonic", monoKey, monoOK, "%s", orf(monoDetail, "%d grants unique and site-ordered", len(lastBySite)))
 
 	// Invariant: feed staleness bound (gateway plans). Every follower
 	// monitor must reach the final timestamp, and no observed
 	// commit-to-delivery gap may exceed the bound.
 	if plan.Gateways > 0 {
-		staleOK, staleDetail := true, ""
+		staleOK, staleDetail, staleKey := true, "", ""
 		for d := range reports {
 			doc := reports[d].Doc
 			for _, m := range r.monitors[doc] {
@@ -226,7 +231,8 @@ func (r *runner) settle(workloadEnd time.Duration) {
 						break
 					}
 					if past(workloadEnd + 2*budget) {
-						staleOK, staleDetail = false, fmt.Sprintf("%s: follower stuck at %d of %d", doc, m.TS(), reports[d].FinalTS)
+						staleOK, staleKey = false, doc
+						staleDetail = fmt.Sprintf("%s: follower stuck at %d of %d", doc, m.TS(), reports[d].FinalTS)
 						break
 					}
 					_ = r.clk.Sleep(r.ctx, ms(plan.SampleMS))
@@ -239,10 +245,11 @@ func (r *runner) settle(workloadEnd time.Duration) {
 			reports[d].StaleMax = r.staleMax[doc]
 			r.mu.Unlock()
 			if bound := ms(plan.StalenessBoundMS); reports[d].StaleMax > bound {
-				staleOK, staleDetail = false, fmt.Sprintf("%s: staleness %s > bound %s", doc, reports[d].StaleMax, bound)
+				staleOK, staleKey = false, doc
+				staleDetail = fmt.Sprintf("%s: staleness %s > bound %s", doc, reports[d].StaleMax, bound)
 			}
 		}
-		r.res.check("feed-staleness", staleOK, "%s", orf(staleDetail, "all feeds within %s", ms(plan.StalenessBoundMS)))
+		r.res.checkk("feed-staleness", staleKey, staleOK, "%s", orf(staleDetail, "all feeds within %s", ms(plan.StalenessBoundMS)))
 	}
 
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Doc < reports[j].Doc })

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"p2pltr/internal/flightrec"
 )
 
 // Event is one observed milestone on a run's virtual timeline. Fields
@@ -35,10 +37,13 @@ type DocReport struct {
 
 // Check is one invariant verdict. A run reports every check it
 // evaluated, passed or not — campaign reports and the shrinker key off
-// the names of the failed ones.
+// the names of the failed ones. Key names the violating document (or
+// DHT key) when the invariant can attribute its failure to one; the
+// forensics assembler slices the flight-recorder timeline on it.
 type Check struct {
 	Name   string `json:"name"`
 	OK     bool   `json:"ok"`
+	Key    string `json:"key,omitempty"`
 	Detail string `json:"detail,omitempty"`
 }
 
@@ -51,6 +56,21 @@ type Result struct {
 	Docs     []DocReport
 	Checks   []Check
 	Counters map[string]int64
+
+	// FlightEvents is the causally-ordered merge of every peer's flight
+	// recorder (flightrec.Merge over all peers, crashed ones included —
+	// their frozen rings often hold the most interesting evidence).
+	// FlightDigest folds them with flightrec.DigestEvents and is part of
+	// the run digest: two same-seed runs must agree on the full
+	// lifecycle-event timeline, not just the workload milestones.
+	FlightEvents []flightrec.Event
+	FlightDigest uint64
+
+	// Forensics is assembled only for failing runs: the causal slice of
+	// the merged timeline around the violating keys. Deliberately NOT
+	// digest-folded — it is derived evidence, and keeping it out lets
+	// tooling re-derive or drop it without perturbing fingerprints.
+	Forensics *Forensics `json:",omitempty"`
 
 	Commits  int
 	Kills    int
@@ -102,6 +122,15 @@ func (r *Result) ViolationNames() []string {
 
 func (r *Result) check(name string, ok bool, format string, args ...any) {
 	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+// checkk is check with a violating-key attribution (empty when the
+// invariant held or the failure is not attributable to one key).
+func (r *Result) checkk(name, key string, ok bool, format string, args ...any) {
+	if ok {
+		key = ""
+	}
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Key: key, Detail: fmt.Sprintf(format, args...)})
 }
 
 // ---------------------------------------------------------------------------
@@ -160,5 +189,6 @@ func (r *Result) finalize(d digest) {
 	}
 	d = d.u64(uint64(r.Sent)).u64(uint64(r.Dropped)).u64(uint64(r.Grants)).
 		u64(uint64(r.Rejects)).u64(uint64(r.Virtual)).u64(uint64(r.Delivers))
+	d = d.u64(r.FlightDigest)
 	r.Digest = uint64(d)
 }

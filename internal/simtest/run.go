@@ -16,6 +16,7 @@ import (
 	"p2pltr/internal/ids"
 	"p2pltr/internal/maintain"
 	"p2pltr/internal/metrics"
+	"p2pltr/internal/trace"
 	"p2pltr/internal/transport"
 	"p2pltr/internal/vclock"
 	"p2pltr/internal/workload"
@@ -69,11 +70,12 @@ type runner struct {
 	seed int64
 	res  *Result
 
-	clk   *vclock.Virtual
-	net   *transport.Simnet
-	opts  core.Options
-	ctx   context.Context
-	epoch time.Time
+	clk    *vclock.Virtual
+	net    *transport.Simnet
+	opts   core.Options
+	ctx    context.Context
+	epoch  time.Time
+	tracer *trace.Tracer
 
 	mu       sync.Mutex // guards events/digest/session bookkeeping
 	dig      digest
@@ -122,6 +124,12 @@ func newRunner(plan Plan, seed int64, res *Result) *runner {
 		staleMax: map[string]time.Duration{},
 		monitors: map[string][]*gateway.Follower{},
 	}
+	// One shared tracer across all peers (like the E13 harness): its
+	// span counter is advanced only at deterministically-scheduled
+	// points, so span and trace IDs reproduce bitwise under the same
+	// seed, and cross-peer segments of one commit land in one ring.
+	r.tracer = trace.New(clk, 4096)
+	r.tracer.SetOrigin("simtest")
 	// Paper-like timers, as in E11/E12: virtual time makes aggressive
 	// periods pointless, and at 512+ peers their event rate would
 	// dominate the wall-time budget.
@@ -138,6 +146,8 @@ func newRunner(plan Plan, seed int64, res *Result) *runner {
 		ClientBackoff:      time.Second,
 		Clock:              clk,
 		AdmissionLimit:     plan.AdmissionLimit,
+		Tracer:             r.tracer,
+		FlightRecorder:     256,
 	}
 	if !plan.DisableMaintain {
 		r.opts.Maintain = &maintain.Config{
@@ -281,6 +291,8 @@ func (r *runner) run() {
 	}
 
 	r.settle(workloadEnd)
+	r.collectFlight()
+	r.assembleForensics()
 	r.collectCounters()
 }
 
@@ -525,7 +537,14 @@ func (r *runner) startDirectSessions() {
 					return
 				}
 				for {
-					ts, err := rep.Commit(r.ctx)
+					// Each attempt is one trace: the span rides the context
+					// through the master RPC and onward, so the remote
+					// validate/serve segments share its trace ID and the
+					// flight recorders stamp their events with it.
+					sp := r.tracer.Start("commit", doc)
+					cctx := trace.NewContext(r.ctx, sp)
+					ts, err := rep.Commit(cctx)
+					sp.EndErr(err)
 					if err == nil {
 						r.record("commit", doc, site, ts)
 						if doomed && interval > 0 && ts%interval == 0 {

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSpanLifecycle is the before-propagation baseline: the cost of
+// a root span's full life (mint, two stage marks, end into the ring).
+func BenchmarkSpanLifecycle(b *testing.B) {
+	tr := New(nil, 256)
+	tr.SetOrigin("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("commit", "doc")
+		sp.Mark("route")
+		sp.Mark("rpc")
+		sp.End()
+	}
+}
+
+// BenchmarkRemoteContinuation is the after-propagation cost: everything
+// a cross-peer RPC adds on top of the root span — extracting the
+// caller's span context, injecting the carrier the way a transport
+// does, and opening + ending the server-side child span.
+func BenchmarkRemoteContinuation(b *testing.B) {
+	caller := New(nil, 256)
+	caller.SetOrigin("caller")
+	server := New(nil, 256)
+	server.SetOrigin("server")
+	sp := caller.Start("commit", "doc")
+	ctx := NewContext(context.Background(), sp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := FromContext(ctx).Context()
+		sctx := ContextWithRemote(context.Background(), sc)
+		child := server.StartRemote(sctx, "serve", "doc", "server:1")
+		child.End()
+	}
+	sp.End()
+}
+
+// BenchmarkTraceIDExtraction is the flight-recorder stamping path: what
+// Record pays per event to learn the active trace ID.
+func BenchmarkTraceIDExtraction(b *testing.B) {
+	tr := New(nil, 256)
+	sp := tr.Start("commit", "doc")
+	ctx := NewContext(context.Background(), sp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if TraceIDFromContext(ctx) == 0 {
+			b.Fatal("no trace")
+		}
+	}
+	sp.End()
+}

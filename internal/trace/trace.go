@@ -33,9 +33,18 @@ type Event struct {
 	Note  bool
 }
 
-// SpanData is the immutable record of a finished span.
+// SpanData is the immutable record of a finished span. Trace is the
+// commit-wide trace ID shared by every span of one causally-related
+// pipeline, across peers: a root span mints it, and server-side child
+// spans opened from a propagated SpanContext inherit it. Parent is the
+// upstream span's ID (0 for roots), Hops the RPC depth below the root,
+// and Peer the address of the peer that served a remote child span.
 type SpanData struct {
 	ID     uint64
+	Trace  uint64
+	Parent uint64
+	Hops   uint8
+	Peer   string
 	Kind   string
 	Key    string
 	Start  time.Time
@@ -91,6 +100,10 @@ func (d SpanData) Hash(h uint64) uint64 {
 	h = foldString(h, d.Kind)
 	h = foldString(h, d.Key)
 	h = foldString(h, d.Err)
+	h = foldString(h, d.Peer)
+	h = foldInt(h, int64(d.Trace))
+	h = foldInt(h, int64(d.Parent))
+	h = foldInt(h, int64(d.Hops))
 	h = foldInt(h, d.Start.UnixNano())
 	h = foldInt(h, d.End.UnixNano())
 	for _, e := range d.Events {
@@ -125,6 +138,7 @@ type Tracer struct {
 	keep int
 
 	mu     sync.Mutex
+	origin string // folded into minted trace IDs (see SetOrigin)
 	nextID uint64
 	ring   []SpanData // recent finished spans, capacity keep
 	next   int        // ring write cursor
@@ -145,6 +159,21 @@ func New(clk vclock.Clock, keep int) *Tracer {
 		ring:   make([]SpanData, 0, keep),
 		stages: make(map[string]*metrics.Histogram),
 	}
+}
+
+// SetOrigin names the process (peer address) this tracer mints trace
+// IDs for. The origin is folded into every root span's trace ID
+// alongside the local span counter, so tracers on different peers mint
+// disjoint, fully deterministic trace IDs with no wall clock and no
+// randomness. Wiring-time configuration; an empty origin (the default)
+// degrades to counter-only IDs, which stay unique within one tracer.
+func (t *Tracer) SetOrigin(origin string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.origin = origin
+	t.mu.Unlock()
 }
 
 // SetSink installs a callback invoked synchronously (outside the tracer
@@ -183,11 +212,43 @@ func (t *Tracer) StartAt(kind, key string, start time.Time) *Span {
 	if t == nil {
 		return nil
 	}
+	id, trace := t.mint()
+	return &Span{t: t, id: id, trace: trace, kind: kind, key: key, start: start, mark: start}
+}
+
+// StartRemote opens a server-side child span continuing the trace
+// context ctx carried across an RPC (see SpanContext): the child shares
+// the caller's trace ID, records the caller's span as its parent, and
+// sits one hop deeper. peer tags the span with the address of the peer
+// serving it, so cross-peer timelines attribute each segment. Without a
+// remote context in ctx the span is an ordinary root (StartAt), still
+// tagged with peer.
+func (t *Tracer) StartRemote(ctx context.Context, kind, key, peer string) *Span {
+	if t == nil {
+		return nil
+	}
+	id, trace := t.mint()
+	s := &Span{t: t, id: id, trace: trace, peer: peer, kind: kind, key: key}
+	if sc, ok := RemoteFromContext(ctx); ok {
+		s.trace = sc.TraceID
+		s.parent = sc.SpanID
+		s.hops = sc.Hops + 1
+	}
+	s.start = t.clk.Now()
+	s.mark = s.start
+	return s
+}
+
+// mint allocates a span ID and the trace ID a root span with it would
+// carry: origin folded with the counter through FNV-1a — deterministic,
+// unique per tracer, disjoint across tracers with distinct origins.
+func (t *Tracer) mint() (id, trace uint64) {
 	t.mu.Lock()
 	t.nextID++
-	id := t.nextID
+	id = t.nextID
+	origin := t.origin
 	t.mu.Unlock()
-	return &Span{t: t, id: id, kind: kind, key: key, start: start, mark: start}
+	return id, foldInt(foldString(fnvOffset, origin), int64(id))
 }
 
 // Ended returns the number of spans finished so far.
@@ -200,7 +261,11 @@ func (t *Tracer) Ended() int64 {
 	return t.ended
 }
 
-// Recent returns up to n recently finished spans, most recent first.
+// Recent returns up to n recently finished spans, ordered NEWEST FIRST:
+// Recent(n)[0] is always the most recently ended span, and older spans
+// follow in reverse completion order until the ring's capacity cuts the
+// history off. Callers rendering timelines (the /trace and /events
+// views) rely on this ordering; it is pinned by TestRecentNewestFirst.
 func (t *Tracer) Recent(n int) []SpanData {
 	if t == nil {
 		return nil
@@ -303,16 +368,30 @@ func (t *Tracer) record(d SpanData) {
 // Span is one in-flight traced unit of work. Methods are safe for
 // concurrent use and are no-ops on a nil receiver.
 type Span struct {
-	t     *Tracer
-	id    uint64
-	kind  string
-	key   string
-	start time.Time
+	t      *Tracer
+	id     uint64
+	trace  uint64
+	parent uint64
+	hops   uint8
+	peer   string
+	kind   string
+	key    string
+	start  time.Time
 
 	mu     sync.Mutex
 	mark   time.Time
 	events []Event
 	done   bool
+}
+
+// Context returns the span's propagatable trace context — what an RPC
+// envelope carries to the serving peer. Nil-safe: a nil span returns the
+// zero SpanContext, whose zero TraceID means "nothing to propagate".
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.trace, SpanID: s.id, Hops: s.hops}
 }
 
 // Mark attributes the time since the previous mark (or span start) to
@@ -366,7 +445,8 @@ func (s *Span) EndErr(err error) {
 	if rem := now.Sub(s.mark); rem > 0 {
 		s.events = append(s.events, Event{Stage: "tail", Dur: rem, N: 1})
 	}
-	d := SpanData{ID: s.id, Kind: s.kind, Key: s.key, Start: s.start, End: now, Events: s.events}
+	d := SpanData{ID: s.id, Trace: s.trace, Parent: s.parent, Hops: s.hops, Peer: s.peer,
+		Kind: s.kind, Key: s.key, Start: s.start, End: now, Events: s.events}
 	s.events = nil
 	s.mu.Unlock()
 	if err != nil {
@@ -376,21 +456,87 @@ func (s *Span) EndErr(err error) {
 }
 
 // ---------------------------------------------------------------------------
-// Context propagation: the gateway editor opens a commit span and the
-// core replica marks stages on it through the request context.
+// Context propagation. Two carriers share the request context:
+//
+//   - the LOCAL carrier holds a live *Span within one process (the
+//     gateway editor opens a commit span and the core replica marks
+//     stages on it through the request context);
+//   - the REMOTE carrier holds the compact SpanContext a transport
+//     extracted from an RPC envelope on the serving side. It is a
+//     distinct key on purpose: a handler must see exactly what the wire
+//     carried, whichever transport (simnet or tcpnet) delivered it.
 
 type ctxKey struct{}
+type remoteKey struct{}
 
-// NewContext returns ctx carrying s. A nil span returns ctx unchanged.
+// SpanContext is the compact trace context an RPC envelope carries
+// across peers: the commit-wide trace ID, the caller's span ID (the
+// parent of any server-side child span), and the RPC hop depth below
+// the root span. A zero TraceID means "no active trace".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Hops    uint8
+}
+
+// NewContext returns ctx carrying s as the local span. Nil-safe on the
+// RPC injection path: a nil ctx starts from context.Background(), and a
+// nil span returns ctx unchanged (never a panic).
 func NewContext(ctx context.Context, s *Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s == nil {
 		return ctx
 	}
 	return context.WithValue(ctx, ctxKey{}, s)
 }
 
-// FromContext returns the span carried by ctx, or nil.
+// FromContext returns the local span carried by ctx, or nil. Nil-safe: a
+// nil ctx (tolerated on the RPC injection path, where handlers may be
+// dispatched with whatever context a transport produced) returns nil
+// rather than panicking.
 func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
 	s, _ := ctx.Value(ctxKey{}).(*Span)
 	return s
+}
+
+// ContextWithRemote returns a ctx carrying sc as the serving-side trace
+// context. It also shadows any local span: the caller's *Span must not
+// leak through an in-process transport (simnet passes contexts by
+// reference) or the two transports would disagree about what a handler
+// can see. StartRemote consumes the carrier.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx = context.WithValue(ctx, ctxKey{}, (*Span)(nil))
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
+// RemoteFromContext returns the serving-side trace context extracted by
+// the transport, if any. Nil-safe.
+func RemoteFromContext(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	sc, ok := ctx.Value(remoteKey{}).(SpanContext)
+	return sc, ok && sc.TraceID != 0
+}
+
+// TraceIDFromContext returns the trace ID active in ctx — the local
+// span's if one is live, else the remote carrier's — or 0. The flight
+// recorder uses it to stamp lifecycle events with the trace they
+// happened under without importing this package's span machinery.
+func TraceIDFromContext(ctx context.Context) uint64 {
+	if s := FromContext(ctx); s != nil {
+		return s.trace
+	}
+	if sc, ok := RemoteFromContext(ctx); ok {
+		return sc.TraceID
+	}
+	return 0
 }

@@ -209,6 +209,101 @@ func TestStageHistogramsAggregate(t *testing.T) {
 	}
 }
 
+// Recent's contract — NEWEST FIRST, Recent(n)[0] is the most recently
+// ended span — is load-bearing for the /trace view and the forensics
+// span assembly, so it is pinned here by name (the doc comment points
+// at this test).
+func TestRecentNewestFirst(t *testing.T) {
+	tr := New(nil, 8)
+	for _, k := range []string{"first", "second", "third"} {
+		tr.Start("commit", k).End()
+	}
+	got := tr.Recent(2)
+	if len(got) != 2 || got[0].Key != "third" || got[1].Key != "second" {
+		t.Fatalf("Recent(2) = %+v, want [third second]", got)
+	}
+	// n <= 0 means "everything retained", still newest first.
+	all := tr.Recent(0)
+	if len(all) != 3 || all[0].Key != "third" || all[2].Key != "first" {
+		t.Fatalf("Recent(0) = %+v, want [third second first]", all)
+	}
+	// n beyond the retained count clamps rather than padding.
+	if over := tr.Recent(99); len(over) != 3 {
+		t.Fatalf("Recent(99) returned %d spans, want 3", len(over))
+	}
+}
+
+// The context carriers sit on the RPC injection path, where transports
+// may hand over nil contexts and nil spans; every accessor must shrug,
+// never panic.
+func TestContextCarriersNilSafe(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) returned a span")
+	}
+	if ctx := NewContext(nil, nil); ctx == nil {
+		t.Fatal("NewContext(nil, nil) returned nil ctx")
+	}
+	tr := New(nil, 4)
+	sp := tr.Start("commit", "k")
+	if got := FromContext(NewContext(nil, sp)); got != sp {
+		t.Fatal("NewContext(nil, span) lost the span")
+	}
+	if _, ok := RemoteFromContext(nil); ok {
+		t.Fatal("RemoteFromContext(nil) claimed a carrier")
+	}
+	if TraceIDFromContext(nil) != 0 {
+		t.Fatal("TraceIDFromContext(nil) nonzero")
+	}
+	if ctx := ContextWithRemote(nil, SpanContext{TraceID: 1, SpanID: 2}); ctx == nil {
+		t.Fatal("ContextWithRemote(nil, sc) returned nil ctx")
+	}
+	sp.End()
+	// A zero-trace carrier reads back as absent.
+	if _, ok := RemoteFromContext(ContextWithRemote(context.Background(), SpanContext{})); ok {
+		t.Fatal("zero-trace carrier reported present")
+	}
+}
+
+// A remote carrier shadows any in-process local span (simnet passes
+// contexts by reference), and StartRemote continues the carried trace:
+// same trace ID, caller's span as parent, one hop deeper.
+func TestRemoteCarrierShadowsAndContinues(t *testing.T) {
+	tr := New(nil, 8)
+	tr.SetOrigin("caller")
+	sp := tr.Start("commit", "doc")
+	ctx := NewContext(context.Background(), sp)
+	sc := sp.Context()
+	if sc.TraceID == 0 || sc.SpanID == 0 || sc.Hops != 0 {
+		t.Fatalf("root span context %+v", sc)
+	}
+
+	ctx = ContextWithRemote(ctx, sc)
+	if FromContext(ctx) != nil {
+		t.Fatal("local span leaked past the remote carrier")
+	}
+	if TraceIDFromContext(ctx) != sc.TraceID {
+		t.Fatal("carrier trace ID not visible")
+	}
+
+	srv := New(nil, 8)
+	srv.SetOrigin("server")
+	child := srv.StartRemote(ctx, "serve", "doc", "server:1")
+	child.End()
+	d := srv.Recent(1)[0]
+	if d.Trace != sc.TraceID || d.Parent != sc.SpanID || d.Hops != 1 || d.Peer != "server:1" {
+		t.Fatalf("remote child did not continue the trace: %+v vs carrier %+v", d, sc)
+	}
+	// Without a carrier, StartRemote is an ordinary root on the server's
+	// own trace-ID space, still peer-tagged.
+	root := srv.StartRemote(context.Background(), "serve", "doc", "server:1")
+	root.End()
+	r := srv.Recent(1)[0]
+	if r.Trace == sc.TraceID || r.Parent != 0 || r.Hops != 0 || r.Peer != "server:1" {
+		t.Fatalf("carrier-less StartRemote not a root: %+v", r)
+	}
+	sp.End()
+}
+
 func TestWriteRecentRendersEvents(t *testing.T) {
 	tr := New(nil, 4)
 	sp := tr.Start("commit", "doc")

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"p2pltr/internal/msg"
+	"p2pltr/internal/trace"
 	"p2pltr/internal/vclock"
 )
 
@@ -351,6 +352,16 @@ func (e *simEndpoint) Call(ctx context.Context, to Addr, req msg.Message) (msg.M
 	}
 	if e.net.Crashed(e.addr) {
 		return nil, ErrClosed
+	}
+	// Trace-context propagation: a caller with a live span hands the
+	// serving side its compact SpanContext — and ONLY that. Simnet passes
+	// contexts by reference, so the remote carrier shadows the caller's
+	// *Span; the handler sees exactly what a wire transport would have
+	// delivered (tcpnet carries the same three fields in its envelope).
+	if sp := trace.FromContext(ctx); sp != nil {
+		if sc := sp.Context(); sc.TraceID != 0 {
+			ctx = trace.ContextWithRemote(ctx, sc)
+		}
 	}
 	return e.net.deliver(ctx, e.addr, to, req)
 }

@@ -11,18 +11,23 @@ import (
 	"sync/atomic"
 
 	"p2pltr/internal/msg"
+	"p2pltr/internal/trace"
 )
 
 func init() { msg.Register() }
 
 // envelope is the on-wire frame of the TCP transport. Payload is an
-// interface encoded by gob, which is why msg.Register exists.
+// interface encoded by gob, which is why msg.Register exists. Trace is
+// the compact trace context of the calling span (zero when the caller
+// is untraced); it is what lets one trace ID span peers over real
+// sockets, mirroring what simnet carries on the call context.
 type envelope struct {
 	Seq    uint64
 	IsResp bool
 	From   string
 	ErrMsg string
 	HasErr bool
+	Trace  msg.TraceContext
 	Body   msg.Message
 }
 
@@ -128,7 +133,15 @@ func (e *TCPEndpoint) serveConn(c net.Conn) {
 			if h == nil {
 				resp.HasErr, resp.ErrMsg = true, ErrNoHandler.Error()
 			} else {
-				m, err := h(context.Background(), Addr(env.From), env.Body)
+				hctx := context.Background()
+				if env.Trace.TraceID != 0 {
+					hctx = trace.ContextWithRemote(hctx, trace.SpanContext{
+						TraceID: env.Trace.TraceID,
+						SpanID:  env.Trace.SpanID,
+						Hops:    env.Trace.Hops,
+					})
+				}
+				m, err := h(hctx, Addr(env.From), env.Body)
 				if err != nil {
 					resp.HasErr, resp.ErrMsg = true, err.Error()
 				} else {
@@ -239,7 +252,17 @@ func (e *TCPEndpoint) Call(ctx context.Context, to Addr, req msg.Message) (msg.M
 		return nil, ErrUnreachable
 	}
 	tc.pending[seq] = ch
-	err = tc.enc.Encode(&envelope{Seq: seq, From: string(e.addr), Body: req})
+	out := envelope{Seq: seq, From: string(e.addr), Body: req}
+	if sp := trace.FromContext(ctx); sp != nil {
+		if sc := sp.Context(); sc.TraceID != 0 {
+			out.Trace = msg.TraceContext{TraceID: sc.TraceID, SpanID: sc.SpanID, Hops: sc.Hops}
+		}
+	} else if sc, ok := trace.RemoteFromContext(ctx); ok {
+		// A relaying peer that never opened its own span still forwards
+		// the inbound context, so multi-hop routes keep one trace ID.
+		out.Trace = msg.TraceContext{TraceID: sc.TraceID, SpanID: sc.SpanID, Hops: sc.Hops}
+	}
+	err = tc.enc.Encode(&out)
 	tc.mu.Unlock()
 	if err != nil {
 		tc.fail()

@@ -54,6 +54,7 @@ type Virtual struct {
 type entry struct {
 	deadline time.Time
 	seq      uint64
+	index    int             // position in the timer heap; -1 once popped
 	ctx      context.Context // non-nil while a goroutine is parked on it
 	awaited  bool
 	fired    bool
@@ -400,7 +401,7 @@ func (v *Virtual) wakeExact(ctx context.Context) {
 		if e.fired || e.ctx != ctx {
 			continue
 		}
-		v.fireCancelledLocked(e)
+		v.expediteLocked(e)
 	}
 }
 
@@ -415,20 +416,34 @@ func (v *Virtual) wakeCancelled() {
 		if e.fired || e.ctx == nil || e.ctx.Err() == nil {
 			continue
 		}
-		v.fireCancelledLocked(e)
+		v.expediteLocked(e)
 	}
 }
 
-// fireCancelledLocked wakes one parked entry with its context error.
-// Caller holds v.mu and has checked e is awaited and unfired.
-func (v *Virtual) fireCancelledLocked(e *entry) {
-	e.fired = true
-	e.err = e.ctx.Err()
+// expediteLocked reschedules a parked entry whose context is done: its
+// wake error is latched and its deadline pulled up to the current
+// instant, so the ordinary scheduler admits it — one goroutine at a
+// time, in arm order — at the next quiescent instant. Firing the whole
+// cancelled set synchronously here (the old behavior) made every
+// affected goroutine runnable at once on real OS threads, in map
+// iteration order: their interleaving was invisible while every
+// cancellation effect was commutative (counter bumps), but it leaks
+// straight into anything that observes ordering — flight-recorder
+// sequence numbers, trace ID minting. Caller holds v.mu and has checked
+// e is awaited and unfired.
+func (v *Virtual) expediteLocked(e *entry) {
 	if e.err == nil {
-		e.err = context.Canceled
+		e.err = e.ctx.Err()
+		if e.err == nil {
+			e.err = context.Canceled
+		}
 	}
-	v.active++
-	close(e.wake)
+	if e.deadline.After(v.now) {
+		e.deadline = v.now
+		if e.index >= 0 {
+			heap.Fix(&v.timers, e.index)
+		}
+	}
 }
 
 // Mutex is a clock-aware mutual exclusion lock for critical sections
@@ -503,11 +518,16 @@ func (m *Mutex) Unlock() {
 	}
 	e := m.waiters[0]
 	m.waiters = m.waiters[1:]
-	// Re-arm into the timer heap at the original (deadline, seq): the
-	// scheduler fires it once everything else is parked, and the waiter
-	// resumes as the sole runnable goroutine, already owning the lock.
+	// Re-arm at the original (deadline, seq): the scheduler fires it once
+	// everything else is parked, and the waiter resumes as the sole
+	// runnable goroutine, already owning the lock. The entry may still be
+	// physically in the heap (popLocked discards removed entries lazily);
+	// clearing the flag in place keeps it single-instance, which the heap
+	// index bookkeeping requires.
 	e.removed = false
-	heap.Push(&v.timers, e)
+	if e.index < 0 {
+		heap.Push(&v.timers, e)
+	}
 	v.mu.Unlock()
 }
 
@@ -571,15 +591,24 @@ func (h entryHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
 
-func (h *entryHeap) Push(x any) { *h = append(*h, x.(*entry)) }
+func (h *entryHeap) Push(x any) {
+	e := x.(*entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
 
 func (h *entryHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.index = -1
 	*h = old[:n-1]
 	return e
 }
